@@ -1,0 +1,115 @@
+// Ablation bench for the design choices DESIGN.md calls out beyond the
+// paper's own Table VII:
+//   * correlation-guided DP selection (Sec. IV-B's "select G_d with a
+//     higher r(G_d, N)") vs. the full k-order enumeration,
+//   * initial residual X^(0) in the propagated block (Eq. 9),
+//   * self loops in the propagation operators,
+//   * the Eq. (1) normalization exponent r,
+// plus the extension baselines (H2GCN / APPNP / GraphSAGE) and parameter-
+// free label propagation for context.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/random.h"
+#include "src/models/extended.h"
+#include "src/models/label_propagation.h"
+
+namespace adpa {
+namespace {
+
+RepeatedResult RunAdpaVariant(const BenchmarkSpec& spec,
+                              const bench::BenchOptions& options,
+                              ModelConfig config) {
+  Result<RepeatedResult> cell = RunRepeated(
+      "ADPA",
+      [&spec, &options](uint64_t seed) {
+        return BuildBenchmark(spec, seed, options.scale);
+      },
+      config, bench::MakeTrainConfig(options), options.repeats,
+      /*undirect_input=*/!spec.expect_directed);
+  ADPA_CHECK(cell.ok()) << cell.status().ToString();
+  return *cell;
+}
+
+void Run(int argc, char** argv) {
+  bench::BenchOptions options = bench::ParseBenchOptions(
+      argc, argv, {.repeats = 1, .epochs = 50, .patience = 15, .scale = 0.4});
+  const char* datasets[] = {"CoraML", "Chameleon", "Squirrel"};
+  std::printf(
+      "Ablations of ADPA design choices (repeats=%d epochs=%d scale=%.2f)\n\n",
+      options.repeats, options.epochs, options.scale);
+
+  {
+    TablePrinter table({"Variant", "CoraML", "Chameleon", "Squirrel"});
+    struct Row {
+      const char* label;
+      void (*apply)(ModelConfig*);
+    };
+    const Row rows[] = {
+        {"ADPA (default)", [](ModelConfig*) {}},
+        {"DP selection top-4",
+         [](ModelConfig* c) { c->select_patterns = 4; }},
+        {"DP selection top-2",
+         [](ModelConfig* c) { c->select_patterns = 2; }},
+        {"w/o initial residual",
+         [](ModelConfig* c) { c->initial_residual = false; }},
+        {"propagation self-loops",
+         [](ModelConfig* c) { c->propagation_self_loops = true; }},
+        {"row-stochastic ops (r=0)",
+         [](ModelConfig* c) { c->conv_r = 0.0; }},
+        {"reverse-transition ops (r=1)",
+         [](ModelConfig* c) { c->conv_r = 1.0; }},
+    };
+    for (const Row& row : rows) {
+      std::vector<std::string> cells = {row.label};
+      for (const char* ds : datasets) {
+        const BenchmarkSpec spec = std::move(FindBenchmark(ds)).value();
+        ModelConfig config = bench::TunedConfig("ADPA", spec);
+        row.apply(&config);
+        cells.push_back(RunAdpaVariant(spec, options, config).ToString());
+        std::fprintf(stderr, ".");
+      }
+      table.AddRow(cells);
+    }
+    table.Print();
+  }
+
+  std::printf("\nExtension baselines + label propagation (context):\n\n");
+  {
+    TablePrinter table({"Model", "CoraML", "Chameleon", "Squirrel"});
+    for (const std::string& model : ExtendedModelNames()) {
+      std::vector<std::string> cells = {model};
+      for (const char* ds : datasets) {
+        const BenchmarkSpec spec = std::move(FindBenchmark(ds)).value();
+        cells.push_back(bench::RunCell(model, spec, options, 1).ToString());
+        std::fprintf(stderr, ".");
+      }
+      table.AddRow(cells);
+    }
+    // Parameter-free label propagation (undirected input, 10 rounds).
+    std::vector<std::string> lp_cells = {"LabelProp"};
+    for (const char* ds : datasets) {
+      const BenchmarkSpec spec = std::move(FindBenchmark(ds)).value();
+      std::vector<double> accs;
+      for (int run = 0; run < options.repeats; ++run) {
+        Dataset dataset = std::move(
+            BuildBenchmark(spec, run, options.scale)).value();
+        accs.push_back(
+            LabelPropagationAccuracy(dataset.WithUndirectedGraph()));
+      }
+      lp_cells.push_back(Aggregate(accs).ToString());
+    }
+    table.AddRow(lp_cells);
+    table.Print();
+  }
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace
+}  // namespace adpa
+
+int main(int argc, char** argv) {
+  adpa::Run(argc, argv);
+  return 0;
+}

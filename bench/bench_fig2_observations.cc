@@ -1,0 +1,72 @@
+// Fig. 2: the two empirical observations motivating AMUD.
+//  (a)/(b) O1 — on CoraML, undirected GNNs on the undirected transformation
+//          beat directed GNNs on the natural digraph; on Chameleon the
+//          situation flips.
+//  (c)/(d) O2 — undirected edge augmentation (U- input) helps directed
+//          GNNs on CiteSeer but hurts them on Squirrel.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace adpa {
+namespace {
+
+void Run(int argc, char** argv) {
+  bench::BenchOptions options = bench::ParseBenchOptions(
+      argc, argv, {.repeats = 2, .epochs = 50, .patience = 15, .scale = 0.5});
+  std::printf(
+      "Fig. 2 (a,b) — O1: U- undirected GNNs vs D- directed GNNs\n"
+      "(repeats=%d epochs=%d scale=%.2f)\n\n",
+      options.repeats, options.epochs, options.scale);
+  {
+    TablePrinter table({"Model", "Input", "CoraML", "Chameleon"});
+    const char* undirected_models[] = {"GCN", "GPRGNN", "AERO-GNN"};
+    const char* directed_models[] = {"DiGCN", "NSTE", "DirGNN"};
+    for (const char* model : undirected_models) {
+      const BenchmarkSpec cora = std::move(FindBenchmark("CoraML")).value();
+      const BenchmarkSpec cham =
+          std::move(FindBenchmark("Chameleon")).value();
+      table.AddRow({std::string("U-") + model, "undirected",
+                    bench::RunCell(model, cora, options, 1).ToString(),
+                    bench::RunCell(model, cham, options, 1).ToString()});
+    }
+    for (const char* model : directed_models) {
+      const BenchmarkSpec cora = std::move(FindBenchmark("CoraML")).value();
+      const BenchmarkSpec cham =
+          std::move(FindBenchmark("Chameleon")).value();
+      table.AddRow({std::string("D-") + model, "directed",
+                    bench::RunCell(model, cora, options, 0).ToString(),
+                    bench::RunCell(model, cham, options, 0).ToString()});
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nFig. 2 (c,d) — O2: undirected augmentation for directed GNNs\n\n");
+  {
+    TablePrinter table({"Model", "CiteSeer", "Squirrel"});
+    for (const char* model : {"DiGCN", "NSTE", "DirGNN"}) {
+      const BenchmarkSpec cite = std::move(FindBenchmark("CiteSeer")).value();
+      const BenchmarkSpec squi = std::move(FindBenchmark("Squirrel")).value();
+      table.AddRow({std::string("D-") + model,
+                    bench::RunCell(model, cite, options, 0).ToString(),
+                    bench::RunCell(model, squi, options, 0).ToString()});
+      table.AddRow({std::string("U-") + model,
+                    bench::RunCell(model, cite, options, 1).ToString(),
+                    bench::RunCell(model, squi, options, 1).ToString()});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nExpected shape: U- rows win the CoraML/CiteSeer columns, D- rows "
+      "win Chameleon/Squirrel.\n");
+}
+
+}  // namespace
+}  // namespace adpa
+
+int main(int argc, char** argv) {
+  adpa::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,134 @@
+// google-benchmark micro-kernels backing the Sec. IV-D complexity analysis:
+// SpMM and DP propagation scale as O(k·K·m·f) and are training-free, dense
+// transforms as O(L·n·f²), and the AMUD analysis as O(nnz of the 2-order
+// reachabilities).
+
+#include <benchmark/benchmark.h>
+
+#include "src/amud/amud.h"
+#include "src/core/random.h"
+#include "src/data/generators.h"
+#include "src/graph/patterns.h"
+#include "src/models/adpa.h"
+#include "src/tensor/optimizer.h"
+#include "src/train/trainer.h"
+
+namespace adpa {
+namespace {
+
+Dataset MakeGraph(int64_t nodes, double degree, int64_t features,
+                  uint64_t seed = 7) {
+  DsbmConfig config;
+  config.num_nodes = nodes;
+  config.num_classes = 5;
+  config.avg_out_degree = degree;
+  config.class_transition = CyclicTransition(5, 0.7, 0.1);
+  config.feature_dim = features;
+  config.seed = seed;
+  return std::move(GenerateDsbm(config)).value();
+}
+
+void BM_SpMM(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t f = state.range(1);
+  Dataset ds = MakeGraph(n, 8.0, f);
+  const SparseMatrix op =
+      NormalizeSymmetric(AddSelfLoops(ds.graph.AdjacencyMatrix()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op.Multiply(ds.features));
+  }
+  state.SetItemsProcessed(state.iterations() * op.nnz() * f);
+}
+BENCHMARK(BM_SpMM)
+    ->Args({1000, 32})
+    ->Args({1000, 128})
+    ->Args({4000, 32})
+    ->Args({4000, 128});
+
+void BM_DenseMatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Matrix a = Matrix::RandomNormal(n, 64, &rng);
+  Matrix b = Matrix::RandomNormal(64, 64, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 64);
+}
+BENCHMARK(BM_DenseMatMul)->Arg(500)->Arg(2000)->Arg(8000);
+
+// The decoupled-propagation claim: pre-processing cost grows linearly in
+// the pattern order budget k and the step count K, independent of training.
+void BM_DpPropagation(benchmark::State& state) {
+  const int order = static_cast<int>(state.range(0));
+  const int steps = static_cast<int>(state.range(1));
+  Dataset ds = MakeGraph(2000, 8.0, 64);
+  PatternSet patterns(ds.graph.AdjacencyMatrix(), 0.5, false);
+  const auto dps = EnumeratePatterns(order);
+  for (auto _ : state) {
+    std::vector<Matrix> states(dps.size(), ds.features);
+    for (int l = 0; l < steps; ++l) {
+      for (size_t g = 0; g < dps.size(); ++g) {
+        states[g] = patterns.Apply(dps[g], states[g]);
+      }
+    }
+    benchmark::DoNotOptimize(states);
+  }
+}
+BENCHMARK(BM_DpPropagation)
+    ->Args({1, 2})
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Args({3, 2});
+
+void BM_AdpaForward(benchmark::State& state) {
+  Dataset ds = MakeGraph(static_cast<int64_t>(state.range(0)), 8.0, 64);
+  Rng rng(3);
+  ModelConfig config;
+  AdpaModel model(ds, config, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(/*training=*/false, &rng));
+  }
+}
+BENCHMARK(BM_AdpaForward)->Arg(500)->Arg(2000);
+
+void BM_AdpaTrainEpoch(benchmark::State& state) {
+  Dataset ds = MakeGraph(1000, 8.0, 64);
+  std::vector<int64_t> train_idx;
+  for (int64_t i = 0; i < ds.num_nodes(); i += 2) train_idx.push_back(i);
+  Rng rng(4);
+  ModelConfig config;
+  AdpaModel model(ds, config, &rng);
+  Adam adam(model.Parameters(), 0.01f);
+  for (auto _ : state) {
+    adam.ZeroGrad();
+    ag::Variable logits = model.Forward(true, &rng);
+    ag::Variable loss = ag::MaskedCrossEntropy(logits, ds.labels, train_idx);
+    ag::Backward(loss);
+    adam.Step();
+  }
+}
+BENCHMARK(BM_AdpaTrainEpoch);
+
+void BM_AmudAnalysis(benchmark::State& state) {
+  Dataset ds = MakeGraph(static_cast<int64_t>(state.range(0)), 6.0, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeAmud(ds.graph, ds.labels, 5));
+  }
+}
+BENCHMARK(BM_AmudAnalysis)->Arg(500)->Arg(2000);
+
+void BM_PatternReachability(benchmark::State& state) {
+  Dataset ds = MakeGraph(2000, static_cast<double>(state.range(0)), 16);
+  PatternSet patterns(ds.graph.AdjacencyMatrix(), 0.5, false);
+  const DirectedPattern aat{{Hop::kOut, Hop::kIn}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(patterns.Reachability(aat));
+  }
+}
+BENCHMARK(BM_PatternReachability)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace adpa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Table VI: ADPA accuracy as a function of the DP operator order k
+// (1-order = {A, Aᵀ} ... 5-order = 62 operators).
+//
+// Paper shape to reproduce: 2-order DPs are optimal on most datasets
+// (CoraML, CiteSeer, Chameleon, Squirrel, ...), 3-order occasionally wins
+// (Actor, Amazon-rating), 1-order is weakest, and orders 4-5 overfit and
+// decay.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace adpa {
+namespace {
+
+constexpr const char* kDatasets[] = {
+    "CoraML",    "CiteSeer", "Actor",     "Tolokers",
+    "AmazonRating", "AmazonComputers", "Texas", "Cornell",
+    "Wisconsin", "Chameleon", "Squirrel", "RomanEmpire"};
+
+void Run(int argc, char** argv) {
+  bench::BenchOptions options = bench::ParseBenchOptions(
+      argc, argv, {.repeats = 1, .epochs = 40, .patience = 10, .scale = 0.3});
+  std::printf(
+      "Table VI: ADPA under different k-order DP operators\n"
+      "(repeats=%d epochs=%d scale=%.2f)\n\n",
+      options.repeats, options.epochs, options.scale);
+  TablePrinter table({"Dataset", "1-order", "2-order", "3-order", "4-order",
+                      "5-order"});
+  for (const char* ds_name : kDatasets) {
+    const BenchmarkSpec spec = std::move(FindBenchmark(ds_name)).value();
+    std::vector<std::string> row = {ds_name};
+    for (int order = 1; order <= 5; ++order) {
+      ModelConfig config = bench::TunedConfig("ADPA", spec);
+      config.pattern_order = order;
+      // Fig. 1 workflow: AMUndirected datasets feed ADPA the undirected
+      // transformation.
+      Result<RepeatedResult> cell = RunRepeated(
+          "ADPA",
+          [&spec, &options](uint64_t seed) {
+            return BuildBenchmark(spec, seed, options.scale);
+          },
+          config, bench::MakeTrainConfig(options), options.repeats,
+          /*undirect_input=*/!spec.expect_directed);
+      ADPA_CHECK(cell.ok()) << cell.status().ToString();
+      row.push_back(cell->ToString());
+      std::fprintf(stderr, ".");
+    }
+    table.AddRow(row);
+  }
+  std::fprintf(stderr, "\n");
+  table.Print();
+}
+
+}  // namespace
+}  // namespace adpa
+
+int main(int argc, char** argv) {
+  adpa::Run(argc, argv);
+  return 0;
+}

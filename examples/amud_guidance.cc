@@ -1,0 +1,50 @@
+// Data-engineering walkthrough: run AMUD over the whole benchmark registry
+// and print the modeling guidance next to the classical homophily metrics
+// — the tool a data engineer would run on a newly collected digraph before
+// choosing a model family (paper Fig. 1 workflow).
+
+#include <cstdio>
+
+#include "src/amud/amud.h"
+#include "src/core/strings.h"
+#include "src/data/benchmarks.h"
+#include "src/metrics/homophily.h"
+
+int main() {
+  using namespace adpa;
+  std::printf(
+      "AMUD guidance across the benchmark suite\n"
+      "(S > 0.5 -> keep directed edges; otherwise undirect)\n\n");
+  TablePrinter table({"Dataset", "H_edge", "H_adj", "LI", "r(A*AT,N)",
+                      "r(A*A,N)", "S", "Guidance"});
+  for (const BenchmarkSpec& spec : BenchmarkSuite()) {
+    Result<Dataset> ds = BuildBenchmark(spec, /*seed=*/0, /*scale=*/0.6);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   ds.status().ToString().c_str());
+      continue;
+    }
+    const HomophilyReport homophily =
+        ComputeHomophilyReport(ds->graph, ds->labels, ds->num_classes);
+    Result<AmudReport> amud =
+        ComputeAmud(ds->graph, ds->labels, ds->num_classes);
+    double r_aat = 0.0, r_aa = 0.0;
+    for (const PatternCorrelation& c : amud->correlations) {
+      if (c.pattern.Name() == "A*AT") r_aat = c.r;
+      if (c.pattern.Name() == "A*A") r_aa = c.r;
+    }
+    table.AddRow({spec.name, FormatDouble(homophily.edge, 3),
+                  FormatDouble(homophily.adjusted, 3),
+                  FormatDouble(homophily.li, 3), FormatDouble(r_aat, 3),
+                  FormatDouble(r_aa, 3), FormatDouble(amud->score, 3),
+                  amud->decision == AmudDecision::kDirected
+                      ? "keep directed"
+                      : "undirect"});
+  }
+  table.Print();
+  std::printf(
+      "\nNote how Actor and AmazonRating are heterophilous by H_edge yet "
+      "get 'undirect':\ntheir 2-order DP correlations are equal, so "
+      "direction carries no extra label signal.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: the full AMUD -> ADPA pipeline on a freshly sampled digraph,
+// in ~40 lines of user code.
+//
+//   1. sample (or load) a natural digraph with node features and labels,
+//   2. ask AMUD whether to keep its directed edges,
+//   3. train ADPA on the recommended topology,
+//   4. report test accuracy.
+
+#include <cstdio>
+
+#include "src/amud/amud.h"
+#include "src/core/random.h"
+#include "src/data/generators.h"
+#include "src/data/splits.h"
+#include "src/models/adpa.h"
+#include "src/train/trainer.h"
+
+int main() {
+  using namespace adpa;
+
+  // 1. A directed graph whose labels follow a cyclic class progression —
+  //    the kind of structure only directed modeling can see.
+  DsbmConfig config;
+  config.num_nodes = 600;
+  config.num_classes = 5;
+  config.avg_out_degree = 6.0;
+  config.class_transition = CyclicTransition(5, 0.7, 0.05);
+  config.edge_noise = 0.15;
+  config.feature_dim = 32;
+  config.feature_noise = 4.0;
+  config.seed = 42;
+  Result<Dataset> dataset = GenerateDsbm(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(42);
+  Result<Split> split = SplitFractions(dataset->labels, 5, 0.48, 0.32, &rng);
+  dataset->train_idx = split->train;
+  dataset->val_idx = split->val;
+  dataset->test_idx = split->test;
+
+  // 2. AMUD guidance: should this graph stay directed?
+  Result<AmudReport> amud =
+      ComputeAmud(dataset->graph, dataset->labels, dataset->num_classes);
+  std::printf("%s", amud->ToString().c_str());
+  dataset->graph = ApplyAmudDecision(dataset->graph, amud->decision);
+
+  // 3. Train ADPA on the AMUD-recommended topology.
+  ModelConfig model_config;  // 2-order DPs, K = 2, both attentions on
+  AdpaModel model(*dataset, model_config, &rng);
+  TrainConfig train_config;
+  train_config.max_epochs = 150;
+  train_config.patience = 30;
+  const TrainResult result = TrainModel(&model, *dataset, train_config, &rng);
+
+  // 4. Report.
+  std::printf("best val accuracy: %.1f%% (epoch %d)\n",
+              result.best_val_accuracy * 100.0, result.best_epoch);
+  std::printf("test accuracy:     %.1f%%\n", result.test_accuracy * 100.0);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Sparsity stress demo (the Fig. 7 scenario as a user-facing walkthrough):
+// degrade a digraph's features, edges, and training labels and watch how
+// ADPA's decoupled propagation holds up against a propagation-free
+// baseline (A2DUG) that cannot recover masked features from neighbors.
+
+#include <cstdio>
+
+#include "src/core/random.h"
+#include "src/core/strings.h"
+#include "src/data/benchmarks.h"
+#include "src/data/sparsity.h"
+#include "src/models/factory.h"
+#include "src/train/trainer.h"
+
+namespace {
+
+double TrainOne(const adpa::Dataset& input, const char* model_name) {
+  using namespace adpa;
+  Rng rng(5);
+  Result<ModelPtr> model = CreateModel(model_name, input, ModelConfig(), &rng);
+  TrainConfig train_config;
+  train_config.max_epochs = 100;
+  train_config.patience = 25;
+  return TrainModel(model->get(), input, train_config, &rng).test_accuracy;
+}
+
+}  // namespace
+
+int main() {
+  using namespace adpa;
+  Result<Dataset> base = BuildBenchmarkByName("CiteSeer", /*seed=*/2, 0.7);
+  if (!base.ok()) {
+    std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(99);
+  TablePrinter table({"Condition", "A2DUG", "ADPA"});
+  auto add_row = [&](const std::string& label, const Dataset& ds) {
+    table.AddRow({label, FormatDouble(TrainOne(ds, "A2DUG") * 100, 1),
+                  FormatDouble(TrainOne(ds, "ADPA") * 100, 1)});
+  };
+  add_row("clean", *base);
+  add_row("60% features masked",
+          std::move(MaskFeatures(*base, 0.6, &rng)).value());
+  add_row("60% edges removed", std::move(DropEdges(*base, 0.6, &rng)).value());
+  add_row("5 labels per class",
+          std::move(ReduceTrainLabels(*base, 5, &rng)).value());
+  table.Print();
+  std::printf(
+      "\nADPA's K-step DP propagation rebuilds masked node profiles from "
+      "directed\nneighborhoods; the propagation-free baseline cannot.\n");
+  return 0;
+}

@@ -1,0 +1,254 @@
+#include "src/amud/amud.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/core/logging.h"
+#include "src/core/random.h"
+#include "src/core/strings.h"
+
+namespace adpa {
+namespace {
+
+/// Phi coefficient of two binary variables from contingency counts:
+///   x = 1[pair is pattern-connected], y = 1[pair endpoints share a label]
+/// over the population of all ordered pairs u != v.
+double PhiCoefficient(double total_pairs, double connected_pairs,
+                      double same_label_pairs,
+                      double connected_same_label_pairs) {
+  const double n11 = connected_same_label_pairs;
+  const double n1x = connected_pairs;
+  const double nx1 = same_label_pairs;
+  const double numerator = total_pairs * n11 - n1x * nx1;
+  const double denominator = std::sqrt(n1x * (total_pairs - n1x)) *
+                             std::sqrt(nx1 * (total_pairs - nx1));
+  if (denominator < 1e-12) return 0.0;
+  return numerator / denominator;
+}
+
+}  // namespace
+
+double PatternLabelCorrelation(const SparseMatrix& reachability,
+                               const std::vector<int64_t>& labels) {
+  const int64_t n = reachability.rows();
+  ADPA_CHECK_EQ(reachability.cols(), n);
+  ADPA_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  if (n < 2) return 0.0;
+
+  // Same-label ordered pairs: Σ_c n_c (n_c - 1).
+  int64_t max_label = 0;
+  for (int64_t label : labels) max_label = std::max(max_label, label);
+  std::vector<int64_t> class_counts(max_label + 1, 0);
+  for (int64_t label : labels) ++class_counts[label];
+  double same_label_pairs = 0.0;
+  for (int64_t count : class_counts) {
+    same_label_pairs += static_cast<double>(count) * (count - 1);
+  }
+
+  // Connected pairs (diagonal entries excluded: pairs require u != v).
+  double connected = 0.0;
+  double connected_same = 0.0;
+  const auto& row_ptr = reachability.row_ptr();
+  const auto& col_idx = reachability.col_idx();
+  const auto& values = reachability.values();
+  for (int64_t u = 0; u < n; ++u) {
+    for (int64_t p = row_ptr[u]; p < row_ptr[u + 1]; ++p) {
+      const int64_t v = col_idx[p];
+      if (v == u || values[p] == 0.0f) continue;
+      connected += 1.0;
+      connected_same += labels[u] == labels[v];
+    }
+  }
+
+  const double total_pairs = static_cast<double>(n) * (n - 1);
+  return PhiCoefficient(total_pairs, connected, same_label_pairs,
+                        connected_same);
+}
+
+double PatternLabelCorrelationMasked(const SparseMatrix& reachability,
+                                     const std::vector<int64_t>& labels,
+                                     const std::vector<int64_t>& known_idx) {
+  const int64_t n = reachability.rows();
+  ADPA_CHECK_EQ(reachability.cols(), n);
+  ADPA_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  if (known_idx.size() < 2) return 0.0;
+  std::vector<uint8_t> known(n, 0);
+  for (int64_t i : known_idx) {
+    ADPA_CHECK_GE(i, 0);
+    ADPA_CHECK_LT(i, n);
+    known[i] = 1;
+  }
+  int64_t max_label = 0;
+  for (int64_t i : known_idx) max_label = std::max(max_label, labels[i]);
+  std::vector<int64_t> class_counts(max_label + 1, 0);
+  for (int64_t i : known_idx) ++class_counts[labels[i]];
+  double same_label_pairs = 0.0;
+  for (int64_t count : class_counts) {
+    same_label_pairs += static_cast<double>(count) * (count - 1);
+  }
+  double connected = 0.0, connected_same = 0.0;
+  const auto& row_ptr = reachability.row_ptr();
+  const auto& col_idx = reachability.col_idx();
+  const auto& values = reachability.values();
+  for (int64_t u = 0; u < n; ++u) {
+    if (!known[u]) continue;
+    for (int64_t p = row_ptr[u]; p < row_ptr[u + 1]; ++p) {
+      const int64_t v = col_idx[p];
+      if (v == u || !known[v] || values[p] == 0.0f) continue;
+      connected += 1.0;
+      connected_same += labels[u] == labels[v];
+    }
+  }
+  const double m = static_cast<double>(known_idx.size());
+  return PhiCoefficient(m * (m - 1.0), connected, same_label_pairs,
+                        connected_same);
+}
+
+Result<std::vector<DirectedPattern>> SelectPatternsByCorrelation(
+    const Digraph& graph, const std::vector<int64_t>& labels,
+    const std::vector<int64_t>& known_idx, int max_order, int keep,
+    const AmudOptions& options) {
+  if (max_order < 1) return Status::InvalidArgument("max_order must be >= 1");
+  if (keep < 1) return Status::InvalidArgument("keep must be >= 1");
+  if (known_idx.size() < 2) {
+    return Status::FailedPrecondition(
+        "DP selection needs at least two labeled nodes");
+  }
+  PatternSet patterns(graph.AdjacencyMatrix(), /*conv_r=*/0.5,
+                      /*self_loops=*/false);
+  std::vector<std::pair<double, DirectedPattern>> scored;
+  for (const DirectedPattern& p : EnumeratePatterns(max_order)) {
+    const double r = PatternLabelCorrelationMasked(
+        patterns.Reachability(p, options.max_row_nnz), labels, known_idx);
+    scored.emplace_back(r, p);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  std::vector<DirectedPattern> selected;
+  const int count = std::min<int>(keep, static_cast<int>(scored.size()));
+  for (int i = 0; i < count; ++i) selected.push_back(scored[i].second);
+  return selected;
+}
+
+double PatternLabelCorrelationSampled(const Digraph& graph,
+                                      const DirectedPattern& pattern,
+                                      const std::vector<int64_t>& labels,
+                                      int64_t num_samples, Rng* rng) {
+  ADPA_CHECK(rng != nullptr);
+  ADPA_CHECK_GT(num_samples, 0);
+  const int64_t n = graph.num_nodes();
+  ADPA_CHECK_GE(n, 2);
+
+  // Reachability probe: walk the pattern word from u collecting the frontier
+  // (bounded breadth via sets) and test membership of v. For sampling we
+  // instead materialize per-source frontiers lazily.
+  PatternSet patterns(graph.AdjacencyMatrix(), /*conv_r=*/0.5,
+                      /*self_loops=*/false);
+  const SparseMatrix reach = patterns.Reachability(pattern);
+
+  double connected = 0.0, same = 0.0, connected_same = 0.0;
+  for (int64_t s = 0; s < num_samples; ++s) {
+    const int64_t u = rng->UniformInt(n);
+    int64_t v = rng->UniformInt(n - 1);
+    if (v >= u) ++v;  // uniform over ordered pairs with u != v
+    const bool is_connected = reach.At(u, v) != 0.0f;
+    const bool is_same = labels[u] == labels[v];
+    connected += is_connected;
+    same += is_same;
+    connected_same += is_connected && is_same;
+  }
+  return PhiCoefficient(static_cast<double>(num_samples), connected, same,
+                        connected_same);
+}
+
+std::string AmudReport::ToString() const {
+  std::ostringstream out;
+  out << "AMUD score S = " << FormatDouble(score, 3) << " -> "
+      << (decision == AmudDecision::kDirected ? "retain directed edges"
+                                              : "undirected transformation")
+      << "\n";
+  for (const PatternCorrelation& c : correlations) {
+    out << "  r(" << c.pattern.Name() << ", N) = " << FormatDouble(c.r, 4)
+        << "  R^2 = " << FormatDouble(c.r_squared, 4) << "\n";
+  }
+  return out.str();
+}
+
+Result<AmudReport> ComputeAmud(const Digraph& graph,
+                               const std::vector<int64_t>& labels,
+                               int64_t num_classes,
+                               const AmudOptions& options) {
+  if (graph.num_nodes() < 2) {
+    return Status::InvalidArgument("AMUD requires at least two nodes");
+  }
+  if (static_cast<int64_t>(labels.size()) != graph.num_nodes()) {
+    return Status::InvalidArgument("labels size must equal num_nodes");
+  }
+  for (int64_t label : labels) {
+    if (label < 0 || label >= num_classes) {
+      return Status::OutOfRange("label out of range");
+    }
+  }
+  if (graph.num_edges() == 0) {
+    return Status::FailedPrecondition("AMUD requires a non-empty edge set");
+  }
+
+  PatternSet patterns(graph.AdjacencyMatrix(), /*conv_r=*/0.5,
+                      /*self_loops=*/false);
+
+  AmudReport report;
+  // First-order operators, reported for inspection / DP selection.
+  for (Hop hop : {Hop::kOut, Hop::kIn}) {
+    DirectedPattern p{{hop}};
+    const double r = PatternLabelCorrelation(
+        patterns.Reachability(p, options.max_row_nnz), labels);
+    report.correlations.push_back({p, r, r * r});
+  }
+  // Second-order operators drive the Eq. (8) score.
+  std::vector<double> second_order_r2;
+  for (const DirectedPattern& p : SecondOrderPatterns()) {
+    const double r = PatternLabelCorrelation(
+        patterns.Reachability(p, options.max_row_nnz), labels);
+    report.correlations.push_back({p, r, r * r});
+    second_order_r2.push_back(r * r);
+  }
+
+  // Eq. (8): S = α sqrt(Σ_{i≠j} ||R²_i − R²_j||² / C(4,2)), α = 1 / max R².
+  // This is the scale-invariant reading of the paper's formula: the RMS
+  // disparity among the four 2-order DP correlations, measured relative to
+  // the strongest correlation. Equal correlations (direction carries no
+  // extra label signal) give S ≈ 0; a split between strong and near-zero
+  // patterns (direction-dependent structure) gives S ≈ 1.15.
+  double max_r2 = 0.0;
+  for (double r2 : second_order_r2) max_r2 = std::max(max_r2, r2);
+  double disparity = 0.0;
+  for (size_t i = 0; i < second_order_r2.size(); ++i) {
+    for (size_t j = 0; j < second_order_r2.size(); ++j) {
+      if (i == j) continue;
+      const double diff = second_order_r2[i] - second_order_r2[j];
+      disparity += diff * diff;
+    }
+  }
+  constexpr double kPairCount = 6.0;  // C(4, 2)
+  constexpr double kMinSignal = 1e-5;
+  if (max_r2 < kMinSignal) {
+    // No second-order operator correlates with the profiles at all:
+    // directed topology carries no signal, recommend undirected modeling.
+    report.score = 0.0;
+  } else {
+    report.score = std::sqrt(disparity / kPairCount) / max_r2;
+  }
+  report.decision = report.score > options.threshold
+                        ? AmudDecision::kDirected
+                        : AmudDecision::kUndirected;
+  return report;
+}
+
+Digraph ApplyAmudDecision(const Digraph& graph, AmudDecision decision) {
+  return decision == AmudDecision::kDirected ? graph : graph.ToUndirected();
+}
+
+}  // namespace adpa

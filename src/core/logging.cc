@@ -1,0 +1,12 @@
+#include "src/core/logging.h"
+
+namespace adpa {
+namespace internal_logging {
+
+void FatalError(const char* file, int line, const std::string& message) {
+  std::cerr << "[FATAL " << file << ":" << line << "] " << message << std::endl;
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace adpa

@@ -1,0 +1,61 @@
+#ifndef ADPA_CORE_LOGGING_H_
+#define ADPA_CORE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace adpa {
+namespace internal_logging {
+
+/// Terminates the process after printing `message` with source location.
+/// Used by the ADPA_CHECK family for internal invariant violations; API-level
+/// misuse is reported through Status instead.
+[[noreturn]] void FatalError(const char* file, int line,
+                             const std::string& message);
+
+/// Stream-collecting helper so CHECK macros can use `<<` syntax.
+class FatalMessageStream {
+ public:
+  FatalMessageStream(const char* file, int line) : file_(file), line_(line) {}
+  [[noreturn]] ~FatalMessageStream() { FatalError(file_, line_, stream_.str()); }
+
+  template <typename T>
+  FatalMessageStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace adpa
+
+/// Internal invariant check: aborts with a message when `condition` is false.
+/// Reserve for programmer errors; recoverable conditions return Status.
+#define ADPA_CHECK(condition)                                       \
+  if (!(condition))                                                 \
+  ::adpa::internal_logging::FatalMessageStream(__FILE__, __LINE__)  \
+      << "Check failed: " #condition " "
+
+#define ADPA_CHECK_EQ(a, b) ADPA_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ADPA_CHECK_NE(a, b) ADPA_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ADPA_CHECK_LT(a, b) ADPA_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ADPA_CHECK_LE(a, b) ADPA_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ADPA_CHECK_GT(a, b) ADPA_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ADPA_CHECK_GE(a, b) ADPA_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Aborts if a Status-returning expression fails. For call sites where
+/// failure indicates a bug rather than recoverable input.
+#define ADPA_CHECK_OK(expr)                                          \
+  do {                                                               \
+    ::adpa::Status _adpa_st = (expr);                                \
+    ADPA_CHECK(_adpa_st.ok()) << _adpa_st.ToString();                \
+  } while (false)
+
+#endif  // ADPA_CORE_LOGGING_H_

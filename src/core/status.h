@@ -1,0 +1,104 @@
+#ifndef ADPA_CORE_STATUS_H_
+#define ADPA_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace adpa {
+
+/// Error categories used across the library. The public API does not throw;
+/// fallible operations return `Status` (or `Result<T>`), mirroring the
+/// RocksDB/Arrow convention for database-grade C++ libraries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+};
+
+/// A lightweight success-or-error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable representation, e.g. "InvalidArgument: bad k".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after
+/// `arrow::Result` / `absl::StatusOr` but dependency-free.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a non-OK Status keeps call sites
+  /// terse (`return value;` / `return Status::InvalidArgument(...);`).
+  Result(T value) : value_(std::move(value)) {}        // NOLINT
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(value_).ok()) {
+      value_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// Error status; OK() when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(value_);
+  }
+
+  /// Value accessors. Must only be called when ok().
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace adpa
+
+/// Propagates a non-OK Status from the enclosing function.
+#define ADPA_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::adpa::Status _adpa_status = (expr);       \
+    if (!_adpa_status.ok()) return _adpa_status; \
+  } while (false)
+
+#endif  // ADPA_CORE_STATUS_H_

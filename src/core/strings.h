@@ -1,0 +1,49 @@
+#ifndef ADPA_CORE_STRINGS_H_
+#define ADPA_CORE_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace adpa {
+
+/// Formats `value` with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision = 4);
+
+/// "mean±std" with the library's conventional 1-decimal accuracy format,
+/// matching the paper's tables (values in percent).
+std::string FormatMeanStd(double mean, double stddev, int precision = 1);
+
+/// Splits `text` on `delimiter`, keeping empty fields.
+std::vector<std::string> SplitString(const std::string& text, char delimiter);
+
+/// Joins `parts` with `delimiter`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& delimiter);
+
+/// Left-pads or right-pads `text` with spaces to `width` characters.
+std::string PadLeft(const std::string& text, int width);
+std::string PadRight(const std::string& text, int width);
+
+/// Minimal fixed-width ASCII table printer used by the bench binaries so
+/// every experiment emits the same row/column layout the paper reports.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table (header, rule, rows) to a string.
+  std::string ToString() const;
+
+  /// Convenience: renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace adpa
+
+#endif  // ADPA_CORE_STRINGS_H_

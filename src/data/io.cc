@@ -1,0 +1,140 @@
+#include "src/data/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace adpa {
+namespace {
+
+Status MalformedFile(const std::string& path, const std::string& what) {
+  return Status::InvalidArgument("malformed dataset file " + path + ": " +
+                                 what);
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  ADPA_RETURN_IF_ERROR(dataset.Validate());
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  out << "adpa-dataset 1\n";
+  out << "name " << (dataset.name.empty() ? "unnamed" : dataset.name) << "\n";
+  out << "nodes " << dataset.num_nodes() << " classes "
+      << dataset.num_classes << " features " << dataset.feature_dim()
+      << "\n";
+  out << "edges " << dataset.num_edges() << "\n";
+  for (const Edge& e : dataset.graph.edges()) {
+    out << e.src << " " << e.dst << "\n";
+  }
+  out << "labels\n";
+  for (size_t i = 0; i < dataset.labels.size(); ++i) {
+    out << dataset.labels[i] << (i + 1 < dataset.labels.size() ? ' ' : '\n');
+  }
+  out << "features\n";
+  char buffer[32];
+  for (int64_t r = 0; r < dataset.features.rows(); ++r) {
+    for (int64_t c = 0; c < dataset.features.cols(); ++c) {
+      std::snprintf(buffer, sizeof(buffer), "%.6g",
+                    static_cast<double>(dataset.features.At(r, c)));
+      out << buffer << (c + 1 < dataset.features.cols() ? ' ' : '\n');
+    }
+  }
+  auto write_split = [&out](const char* tag,
+                            const std::vector<int64_t>& indices) {
+    out << tag << " " << indices.size();
+    for (int64_t i : indices) out << " " << i;
+    out << "\n";
+  };
+  write_split("train", dataset.train_idx);
+  write_split("val", dataset.val_idx);
+  write_split("test", dataset.test_idx);
+  out.flush();
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> LoadDataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "adpa-dataset" || version != 1) {
+    return MalformedFile(path, "bad magic/version header");
+  }
+  std::string tag;
+  Dataset dataset;
+  if (!(in >> tag >> dataset.name) || tag != "name") {
+    return MalformedFile(path, "expected 'name'");
+  }
+  int64_t n = 0, f = 0;
+  std::string classes_tag, features_tag;
+  if (!(in >> tag >> n >> classes_tag >> dataset.num_classes >>
+        features_tag >> f) ||
+      tag != "nodes" || classes_tag != "classes" ||
+      features_tag != "features") {
+    return MalformedFile(path, "expected 'nodes ... classes ... features'");
+  }
+  if (n < 0 || f < 0 || dataset.num_classes < 2) {
+    return MalformedFile(path, "non-sensical dimensions");
+  }
+  int64_t m = 0;
+  if (!(in >> tag >> m) || tag != "edges" || m < 0) {
+    return MalformedFile(path, "expected 'edges <m>'");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (int64_t i = 0; i < m; ++i) {
+    Edge e;
+    if (!(in >> e.src >> e.dst)) return MalformedFile(path, "truncated edges");
+    edges.push_back(e);
+  }
+  Result<Digraph> graph = Digraph::Create(n, std::move(edges));
+  if (!graph.ok()) return graph.status();
+  dataset.graph = std::move(graph).value();
+
+  if (!(in >> tag) || tag != "labels") {
+    return MalformedFile(path, "expected 'labels'");
+  }
+  dataset.labels.resize(n);
+  for (int64_t i = 0; i < n; ++i) {
+    if (!(in >> dataset.labels[i])) {
+      return MalformedFile(path, "truncated labels");
+    }
+  }
+  if (!(in >> tag) || tag != "features") {
+    return MalformedFile(path, "expected 'features'");
+  }
+  dataset.features = Matrix(n, f);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < f; ++c) {
+      double value;
+      if (!(in >> value)) return MalformedFile(path, "truncated features");
+      dataset.features.At(r, c) = static_cast<float>(value);
+    }
+  }
+  auto read_split = [&](const char* expected,
+                        std::vector<int64_t>* indices) -> Status {
+    int64_t count;
+    if (!(in >> tag >> count) || tag != expected || count < 0) {
+      return MalformedFile(path, std::string("expected '") + expected + "'");
+    }
+    indices->resize(count);
+    for (int64_t i = 0; i < count; ++i) {
+      if (!(in >> (*indices)[i])) {
+        return MalformedFile(path, "truncated split");
+      }
+    }
+    return Status::OK();
+  };
+  ADPA_RETURN_IF_ERROR(read_split("train", &dataset.train_idx));
+  ADPA_RETURN_IF_ERROR(read_split("val", &dataset.val_idx));
+  ADPA_RETURN_IF_ERROR(read_split("test", &dataset.test_idx));
+  ADPA_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace adpa

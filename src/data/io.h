@@ -1,0 +1,39 @@
+#ifndef ADPA_DATA_IO_H_
+#define ADPA_DATA_IO_H_
+
+#include <string>
+
+#include "src/core/status.h"
+#include "src/data/dataset.h"
+
+namespace adpa {
+
+/// Plain-text dataset (de)serialization so users can bring their own
+/// graphs. The format is line-oriented and self-describing:
+///
+///   adpa-dataset 1            # magic + version
+///   name <string>
+///   nodes <n> classes <C> features <f>
+///   edges <m>
+///   <src> <dst>               # m lines
+///   labels
+///   <label_0> ... <label_{n-1}>
+///   features
+///   <f floats per line, n lines>
+///   train <k> <idx...>
+///   val <k> <idx...>
+///   test <k> <idx...>
+///
+/// Everything after `edges` is whitespace-separated, so files survive
+/// reformatting. Floats round-trip at %.6g precision.
+
+/// Serializes `dataset` to `path`. Fails on I/O errors.
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Parses a dataset written by SaveDataset (or by hand in the same
+/// format). Validates the result before returning it.
+Result<Dataset> LoadDataset(const std::string& path);
+
+}  // namespace adpa
+
+#endif  // ADPA_DATA_IO_H_

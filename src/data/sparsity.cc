@@ -1,0 +1,91 @@
+#include "src/data/sparsity.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/core/logging.h"
+#include "src/core/random.h"
+
+namespace adpa {
+namespace {
+
+Status ValidateFraction(double fraction) {
+  if (fraction < 0.0 || fraction >= 1.0) {
+    return Status::InvalidArgument("fraction must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Dataset> MaskFeatures(const Dataset& dataset, double fraction,
+                             Rng* rng) {
+  ADPA_CHECK(rng != nullptr);
+  ADPA_RETURN_IF_ERROR(ValidateFraction(fraction));
+  Dataset out = dataset;
+  std::unordered_set<int64_t> train(dataset.train_idx.begin(),
+                                    dataset.train_idx.end());
+  std::vector<int64_t> candidates;
+  for (int64_t i = 0; i < dataset.num_nodes(); ++i) {
+    if (train.count(i) == 0) candidates.push_back(i);
+  }
+  const int64_t mask_count = static_cast<int64_t>(
+      fraction * static_cast<double>(candidates.size()));
+  rng->Shuffle(&candidates);
+  for (int64_t i = 0; i < mask_count; ++i) {
+    float* row = out.features.Row(candidates[i]);
+    std::fill(row, row + out.features.cols(), 0.0f);
+  }
+  return out;
+}
+
+Result<Dataset> DropEdges(const Dataset& dataset, double fraction, Rng* rng) {
+  ADPA_CHECK(rng != nullptr);
+  ADPA_RETURN_IF_ERROR(ValidateFraction(fraction));
+  const auto& edges = dataset.graph.edges();
+  const int64_t keep_count = static_cast<int64_t>(
+      (1.0 - fraction) * static_cast<double>(edges.size()));
+  std::vector<int64_t> order(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) order[i] = static_cast<int64_t>(i);
+  rng->Shuffle(&order);
+  std::vector<Edge> kept;
+  kept.reserve(keep_count);
+  for (int64_t i = 0; i < keep_count; ++i) kept.push_back(edges[order[i]]);
+  Result<Digraph> graph = Digraph::Create(dataset.num_nodes(), std::move(kept));
+  if (!graph.ok()) return graph.status();
+  Dataset out = dataset;
+  out.graph = std::move(graph).value();
+  return out;
+}
+
+Result<Dataset> ReduceTrainLabels(const Dataset& dataset, int64_t per_class,
+                                  Rng* rng) {
+  ADPA_CHECK(rng != nullptr);
+  if (per_class <= 0) {
+    return Status::InvalidArgument("per_class must be positive");
+  }
+  std::vector<std::vector<int64_t>> train_by_class(dataset.num_classes);
+  for (int64_t i : dataset.train_idx) {
+    train_by_class[dataset.labels[i]].push_back(i);
+  }
+  Dataset out = dataset;
+  out.train_idx.clear();
+  for (auto& nodes : train_by_class) {
+    rng->Shuffle(&nodes);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (static_cast<int64_t>(i) < per_class) {
+        out.train_idx.push_back(nodes[i]);
+      } else {
+        out.test_idx.push_back(nodes[i]);  // surplus becomes unlabeled
+      }
+    }
+  }
+  if (out.train_idx.empty()) {
+    return Status::FailedPrecondition("no training labels left");
+  }
+  std::sort(out.train_idx.begin(), out.train_idx.end());
+  std::sort(out.test_idx.begin(), out.test_idx.end());
+  return out;
+}
+
+}  // namespace adpa

@@ -1,0 +1,32 @@
+#ifndef ADPA_DATA_SPARSITY_H_
+#define ADPA_DATA_SPARSITY_H_
+
+#include <cstdint>
+
+#include "src/core/status.h"
+#include "src/data/dataset.h"
+
+namespace adpa {
+
+class Rng;
+
+/// Sparsity injectors backing the Fig. 7 robustness experiments. Each
+/// returns a modified copy of the dataset; `fraction` must be in [0, 1).
+
+/// Feature sparsity: zeroes the entire feature row of `fraction` of the
+/// nodes *outside the training split* (the paper assumes unlabeled nodes
+/// may arrive without profiles).
+Result<Dataset> MaskFeatures(const Dataset& dataset, double fraction,
+                             Rng* rng);
+
+/// Edge sparsity: removes a uniformly random `fraction` of the edges.
+Result<Dataset> DropEdges(const Dataset& dataset, double fraction, Rng* rng);
+
+/// Label sparsity: keeps only `per_class` training labels for each class
+/// (dropped training nodes are moved to the test split).
+Result<Dataset> ReduceTrainLabels(const Dataset& dataset, int64_t per_class,
+                                  Rng* rng);
+
+}  // namespace adpa
+
+#endif  // ADPA_DATA_SPARSITY_H_

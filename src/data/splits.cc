@@ -1,0 +1,106 @@
+#include "src/data/splits.h"
+
+#include <algorithm>
+
+#include "src/core/logging.h"
+#include "src/core/random.h"
+
+namespace adpa {
+namespace {
+
+std::vector<std::vector<int64_t>> NodesByClass(
+    const std::vector<int64_t>& labels, int64_t num_classes) {
+  std::vector<std::vector<int64_t>> by_class(num_classes);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    by_class[labels[i]].push_back(static_cast<int64_t>(i));
+  }
+  return by_class;
+}
+
+}  // namespace
+
+Result<Split> SplitPerClass(const std::vector<int64_t>& labels,
+                            int64_t num_classes, int64_t train_per_class,
+                            int64_t num_val, int64_t num_test, Rng* rng) {
+  ADPA_CHECK(rng != nullptr);
+  if (train_per_class <= 0) {
+    return Status::InvalidArgument("train_per_class must be positive");
+  }
+  auto by_class = NodesByClass(labels, num_classes);
+  Split split;
+  std::vector<int64_t> remaining;
+  for (int64_t c = 0; c < num_classes; ++c) {
+    if (static_cast<int64_t>(by_class[c].size()) < train_per_class) {
+      return Status::FailedPrecondition(
+          "class " + std::to_string(c) + " has fewer than " +
+          std::to_string(train_per_class) + " nodes");
+    }
+    rng->Shuffle(&by_class[c]);
+    for (int64_t i = 0; i < static_cast<int64_t>(by_class[c].size()); ++i) {
+      if (i < train_per_class) {
+        split.train.push_back(by_class[c][i]);
+      } else {
+        remaining.push_back(by_class[c][i]);
+      }
+    }
+  }
+  rng->Shuffle(&remaining);
+  if (num_val + std::max<int64_t>(num_test, 1) >
+      static_cast<int64_t>(remaining.size())) {
+    return Status::FailedPrecondition("not enough nodes for val/test splits");
+  }
+  split.val.assign(remaining.begin(), remaining.begin() + num_val);
+  if (num_test <= 0) {
+    split.test.assign(remaining.begin() + num_val, remaining.end());
+  } else {
+    split.test.assign(remaining.begin() + num_val,
+                      remaining.begin() + num_val + num_test);
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.val.begin(), split.val.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+Result<Split> SplitFractions(const std::vector<int64_t>& labels,
+                             int64_t num_classes, double train_fraction,
+                             double val_fraction, Rng* rng) {
+  ADPA_CHECK(rng != nullptr);
+  if (train_fraction <= 0.0 || val_fraction < 0.0 ||
+      train_fraction + val_fraction >= 1.0) {
+    return Status::InvalidArgument("invalid split fractions");
+  }
+  auto by_class = NodesByClass(labels, num_classes);
+  Split split;
+  for (int64_t c = 0; c < num_classes; ++c) {
+    auto& nodes = by_class[c];
+    if (nodes.empty()) continue;
+    rng->Shuffle(&nodes);
+    const int64_t size = static_cast<int64_t>(nodes.size());
+    // Round but keep at least one training node per non-empty class.
+    int64_t train_count = std::max<int64_t>(
+        1, static_cast<int64_t>(train_fraction * static_cast<double>(size)));
+    int64_t val_count =
+        static_cast<int64_t>(val_fraction * static_cast<double>(size));
+    train_count = std::min(train_count, size);
+    val_count = std::min(val_count, size - train_count);
+    for (int64_t i = 0; i < size; ++i) {
+      if (i < train_count) {
+        split.train.push_back(nodes[i]);
+      } else if (i < train_count + val_count) {
+        split.val.push_back(nodes[i]);
+      } else {
+        split.test.push_back(nodes[i]);
+      }
+    }
+  }
+  if (split.test.empty()) {
+    return Status::FailedPrecondition("test split came out empty");
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.val.begin(), split.val.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+}  // namespace adpa

@@ -1,0 +1,35 @@
+#ifndef ADPA_DATA_SPLITS_H_
+#define ADPA_DATA_SPLITS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/status.h"
+
+namespace adpa {
+
+class Rng;
+
+/// Train/val/test node index sets.
+struct Split {
+  std::vector<int64_t> train;
+  std::vector<int64_t> val;
+  std::vector<int64_t> test;
+};
+
+/// Citation-network protocol: `train_per_class` labeled nodes per class,
+/// then `num_val` validation and `num_test` (or all remaining when 0) test
+/// nodes drawn from the rest. Fails if a class has too few nodes.
+Result<Split> SplitPerClass(const std::vector<int64_t>& labels,
+                            int64_t num_classes, int64_t train_per_class,
+                            int64_t num_val, int64_t num_test, Rng* rng);
+
+/// Percentage protocol (e.g. the paper's 48%/32%/20% WebKB and 50%/25%/25%
+/// splits), stratified per class so every class appears in train.
+Result<Split> SplitFractions(const std::vector<int64_t>& labels,
+                             int64_t num_classes, double train_fraction,
+                             double val_fraction, Rng* rng);
+
+}  // namespace adpa
+
+#endif  // ADPA_DATA_SPLITS_H_

@@ -1,0 +1,46 @@
+#ifndef ADPA_GRAPH_ALGORITHMS_H_
+#define ADPA_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/digraph.h"
+
+namespace adpa {
+
+/// Weakly connected components (direction ignored). Returns a component id
+/// per node, ids dense in [0, num_components).
+struct ComponentLabeling {
+  std::vector<int64_t> component_of;
+  int64_t num_components = 0;
+};
+ComponentLabeling WeaklyConnectedComponents(const Digraph& graph);
+
+/// Strongly connected components via Tarjan's algorithm (iterative).
+ComponentLabeling StronglyConnectedComponents(const Digraph& graph);
+
+/// Multi-source BFS over out-edges: hop distance from the closest source,
+/// -1 if unreachable. `max_hops >= 0` truncates the search.
+std::vector<int64_t> BfsDistances(const Digraph& graph,
+                                  const std::vector<int64_t>& sources,
+                                  int64_t max_hops = -1);
+
+/// The set of nodes within exactly `hops` forward steps of `node`
+/// (the directed k-hop out-neighborhood, excluding the node itself).
+std::vector<int64_t> KHopOutNeighborhood(const Digraph& graph, int64_t node,
+                                         int64_t hops);
+
+/// Degree summary used by dataset statistics and generator validation.
+struct DegreeStats {
+  double mean_out = 0.0;
+  double max_out = 0.0;
+  double mean_in = 0.0;
+  double max_in = 0.0;
+  int64_t sources = 0;  ///< nodes with in-degree 0
+  int64_t sinks = 0;    ///< nodes with out-degree 0
+};
+DegreeStats ComputeDegreeStats(const Digraph& graph);
+
+}  // namespace adpa
+
+#endif  // ADPA_GRAPH_ALGORITHMS_H_

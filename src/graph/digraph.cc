@@ -1,0 +1,97 @@
+#include "src/graph/digraph.h"
+
+#include <algorithm>
+
+#include "src/core/logging.h"
+
+namespace adpa {
+
+Result<Digraph> Digraph::Create(int64_t num_nodes, std::vector<Edge> edges) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("num_nodes must be non-negative");
+  }
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.src >= num_nodes || e.dst < 0 || e.dst >= num_nodes) {
+      return Status::OutOfRange("edge endpoint out of range");
+    }
+    if (e.src == e.dst) {
+      return Status::InvalidArgument("self loops are not allowed in Digraph");
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Digraph g;
+  g.num_nodes_ = num_nodes;
+  g.edges_ = std::move(edges);
+  g.out_neighbors_.assign(num_nodes, {});
+  g.in_neighbors_.assign(num_nodes, {});
+  for (const Edge& e : g.edges_) {
+    g.out_neighbors_[e.src].push_back(e.dst);
+    g.in_neighbors_[e.dst].push_back(e.src);
+  }
+  for (auto& neighbors : g.in_neighbors_) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+  // out_neighbors_ is already sorted because edges_ is sorted by (src, dst).
+  return g;
+}
+
+Digraph Digraph::CreateOrDie(int64_t num_nodes, std::vector<Edge> edges) {
+  Result<Digraph> result = Create(num_nodes, std::move(edges));
+  ADPA_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+const std::vector<int64_t>& Digraph::OutNeighbors(int64_t u) const {
+  ADPA_CHECK_GE(u, 0);
+  ADPA_CHECK_LT(u, num_nodes_);
+  return out_neighbors_[u];
+}
+
+const std::vector<int64_t>& Digraph::InNeighbors(int64_t u) const {
+  ADPA_CHECK_GE(u, 0);
+  ADPA_CHECK_LT(u, num_nodes_);
+  return in_neighbors_[u];
+}
+
+bool Digraph::HasEdge(int64_t u, int64_t v) const {
+  const std::vector<int64_t>& neighbors = OutNeighbors(u);
+  return std::binary_search(neighbors.begin(), neighbors.end(), v);
+}
+
+double Digraph::ReciprocityRatio() const {
+  if (edges_.empty()) return 1.0;
+  int64_t reciprocal = 0;
+  for (const Edge& e : edges_) {
+    if (HasEdge(e.dst, e.src)) ++reciprocal;
+  }
+  return static_cast<double>(reciprocal) / static_cast<double>(edges_.size());
+}
+
+SparseMatrix Digraph::AdjacencyMatrix() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(edges_.size());
+  for (const Edge& e : edges_) triplets.push_back({e.src, e.dst, 1.0f});
+  return SparseMatrix::FromTriplets(num_nodes_, num_nodes_,
+                                    std::move(triplets));
+}
+
+Digraph Digraph::ToUndirected() const {
+  std::vector<Edge> symmetric;
+  symmetric.reserve(edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    symmetric.push_back(e);
+    symmetric.push_back({e.dst, e.src});
+  }
+  return CreateOrDie(num_nodes_, std::move(symmetric));
+}
+
+bool Digraph::IsSymmetric() const {
+  for (const Edge& e : edges_) {
+    if (!HasEdge(e.dst, e.src)) return false;
+  }
+  return true;
+}
+
+}  // namespace adpa

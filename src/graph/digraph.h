@@ -1,0 +1,79 @@
+#ifndef ADPA_GRAPH_DIGRAPH_H_
+#define ADPA_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/graph/sparse_matrix.h"
+
+namespace adpa {
+
+/// A directed edge (source -> target).
+struct Edge {
+  int64_t src = 0;
+  int64_t dst = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst;
+  }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  }
+};
+
+/// An immutable simple digraph: node set [0, n) plus a deduplicated edge
+/// list with both CSR (out-adjacency) and CSC (in-adjacency) views. Self
+/// loops are rejected at construction; use AddSelfLoops on the adjacency
+/// matrix when a model needs Â = A + I.
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Validates and builds. Fails on out-of-range endpoints or self loops.
+  /// Duplicate edges are silently coalesced (simple-graph semantics).
+  static Result<Digraph> Create(int64_t num_nodes, std::vector<Edge> edges);
+
+  /// CHECK-failing convenience for statically known-good inputs (tests).
+  static Digraph CreateOrDie(int64_t num_nodes, std::vector<Edge> edges);
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Out-neighbors of u (targets of edges u -> v), ascending.
+  const std::vector<int64_t>& OutNeighbors(int64_t u) const;
+  /// In-neighbors of u (sources of edges v -> u), ascending.
+  const std::vector<int64_t>& InNeighbors(int64_t u) const;
+
+  int64_t OutDegree(int64_t u) const { return OutNeighbors(u).size(); }
+  int64_t InDegree(int64_t u) const { return InNeighbors(u).size(); }
+
+  /// True if the directed edge u -> v exists. O(log deg).
+  bool HasEdge(int64_t u, int64_t v) const;
+
+  /// Fraction of edges whose reverse edge also exists (1.0 for a graph that
+  /// is already symmetric). Used to sanity-check "natural digraph" inputs.
+  double ReciprocityRatio() const;
+
+  /// Directed adjacency A_d as CSR: A_d(u, v) = 1 iff edge u -> v.
+  SparseMatrix AdjacencyMatrix() const;
+
+  /// Undirected transformation: every edge becomes a symmetric pair.
+  /// This is the "coarse undirected transformation" of the paper (Sec. I).
+  Digraph ToUndirected() const;
+
+  /// True when the edge set is symmetric.
+  bool IsSymmetric() const;
+
+ private:
+  int64_t num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int64_t>> out_neighbors_;
+  std::vector<std::vector<int64_t>> in_neighbors_;
+};
+
+}  // namespace adpa
+
+#endif  // ADPA_GRAPH_DIGRAPH_H_

@@ -1,0 +1,85 @@
+#include "src/graph/patterns.h"
+
+#include "src/core/logging.h"
+
+namespace adpa {
+
+std::string DirectedPattern::Name() const {
+  if (word.empty()) return "I";
+  std::string name;
+  for (size_t i = 0; i < word.size(); ++i) {
+    if (i > 0) name += "*";
+    name += word[i] == Hop::kOut ? "A" : "AT";
+  }
+  return name;
+}
+
+std::vector<DirectedPattern> EnumeratePatterns(int max_order) {
+  ADPA_CHECK_GE(max_order, 1);
+  std::vector<DirectedPattern> patterns;
+  std::vector<DirectedPattern> frontier = {DirectedPattern{}};
+  for (int order = 1; order <= max_order; ++order) {
+    std::vector<DirectedPattern> next;
+    for (const DirectedPattern& base : frontier) {
+      for (Hop hop : {Hop::kOut, Hop::kIn}) {
+        DirectedPattern extended = base;
+        extended.word.push_back(hop);
+        next.push_back(extended);
+      }
+    }
+    patterns.insert(patterns.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  return patterns;
+}
+
+std::vector<DirectedPattern> SecondOrderPatterns() {
+  using enum Hop;
+  return {
+      DirectedPattern{{kOut, kOut}},  // A·A
+      DirectedPattern{{kIn, kIn}},    // Aᵀ·Aᵀ
+      DirectedPattern{{kOut, kIn}},   // A·Aᵀ
+      DirectedPattern{{kIn, kOut}},   // Aᵀ·A
+  };
+}
+
+PatternSet::PatternSet(const SparseMatrix& adjacency, double conv_r,
+                       bool self_loops) {
+  ADPA_CHECK_EQ(adjacency.rows(), adjacency.cols());
+  const SparseMatrix base =
+      self_loops ? AddSelfLoops(adjacency) : adjacency;
+  a_norm_ = NormalizeConvolution(base, conv_r);
+  at_norm_ = NormalizeConvolution(base.Transposed(), conv_r);
+  a_raw_ = adjacency.Binarized();
+  at_raw_ = a_raw_.Transposed();
+}
+
+Matrix PatternSet::ApplyHop(Hop hop, const Matrix& x) const {
+  return hop == Hop::kOut ? a_norm_.Multiply(x) : at_norm_.Multiply(x);
+}
+
+Matrix PatternSet::Apply(const DirectedPattern& pattern,
+                         const Matrix& x) const {
+  Matrix result = x;
+  // The operator is word[0]·word[1]·…·word[L-1]; right-to-left application.
+  for (auto it = pattern.word.rbegin(); it != pattern.word.rend(); ++it) {
+    result = ApplyHop(*it, result);
+  }
+  return result;
+}
+
+SparseMatrix PatternSet::Reachability(const DirectedPattern& pattern,
+                                      int64_t max_row_nnz) const {
+  ADPA_CHECK_GE(pattern.order(), 1);
+  const auto hop_matrix = [this](Hop hop) -> const SparseMatrix& {
+    return hop == Hop::kOut ? a_raw_ : at_raw_;
+  };
+  SparseMatrix result = hop_matrix(pattern.word.back());
+  for (auto it = std::next(pattern.word.rbegin()); it != pattern.word.rend();
+       ++it) {
+    result = hop_matrix(*it).MultiplySparse(result, max_row_nnz).Binarized();
+  }
+  return result;
+}
+
+}  // namespace adpa

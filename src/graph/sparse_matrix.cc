@@ -1,0 +1,262 @@
+#include "src/graph/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/core/logging.h"
+
+namespace adpa {
+
+SparseMatrix SparseMatrix::FromTriplets(int64_t rows, int64_t cols,
+                                        std::vector<Triplet> triplets) {
+  ADPA_CHECK_GE(rows, 0);
+  ADPA_CHECK_GE(cols, 0);
+  for (const Triplet& t : triplets) {
+    ADPA_CHECK_GE(t.row, 0);
+    ADPA_CHECK_LT(t.row, rows);
+    ADPA_CHECK_GE(t.col, 0);
+    ADPA_CHECK_LT(t.col, cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  SparseMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.row_ptr_.assign(rows + 1, 0);
+  out.col_idx_.reserve(triplets.size());
+  out.values_.reserve(triplets.size());
+  for (size_t i = 0; i < triplets.size();) {
+    size_t j = i;
+    double sum = 0.0;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    out.col_idx_.push_back(static_cast<int32_t>(triplets[i].col));
+    out.values_.push_back(static_cast<float>(sum));
+    out.row_ptr_[triplets[i].row + 1]++;
+    i = j;
+  }
+  for (int64_t r = 0; r < rows; ++r) out.row_ptr_[r + 1] += out.row_ptr_[r];
+  return out;
+}
+
+SparseMatrix SparseMatrix::Identity(int64_t n) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(n);
+  for (int64_t i = 0; i < n; ++i) triplets.push_back({i, i, 1.0f});
+  return FromTriplets(n, n, std::move(triplets));
+}
+
+float SparseMatrix::At(int64_t r, int64_t c) const {
+  ADPA_CHECK_GE(r, 0);
+  ADPA_CHECK_LT(r, rows_);
+  const auto begin = col_idx_.begin() + row_ptr_[r];
+  const auto end = col_idx_.begin() + row_ptr_[r + 1];
+  const auto it = std::lower_bound(begin, end, static_cast<int32_t>(c));
+  if (it == end || *it != c) return 0.0f;
+  return values_[it - col_idx_.begin()];
+}
+
+Matrix SparseMatrix::Multiply(const Matrix& dense) const {
+  ADPA_CHECK_EQ(cols_, dense.rows());
+  Matrix out(rows_, dense.cols());
+  const int64_t f = dense.cols();
+  for (int64_t r = 0; r < rows_; ++r) {
+    float* out_row = out.Row(r);
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      const float w = values_[p];
+      const float* in_row = dense.Row(col_idx_[p]);
+      for (int64_t c = 0; c < f; ++c) out_row[c] += w * in_row[c];
+    }
+  }
+  return out;
+}
+
+Matrix SparseMatrix::MultiplyTransposed(const Matrix& dense) const {
+  ADPA_CHECK_EQ(rows_, dense.rows());
+  Matrix out(cols_, dense.cols());
+  const int64_t f = dense.cols();
+  for (int64_t r = 0; r < rows_; ++r) {
+    const float* in_row = dense.Row(r);
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      const float w = values_[p];
+      float* out_row = out.Row(col_idx_[p]);
+      for (int64_t c = 0; c < f; ++c) out_row[c] += w * in_row[c];
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::Transposed() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(nnz());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      triplets.push_back({col_idx_[p], r, values_[p]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(triplets));
+}
+
+SparseMatrix SparseMatrix::MultiplySparse(const SparseMatrix& other,
+                                          int64_t max_row_nnz) const {
+  ADPA_CHECK_EQ(cols_, other.rows_);
+  std::vector<Triplet> triplets;
+  // Gustavson's algorithm with a dense accumulator per row.
+  std::vector<float> accumulator(other.cols_, 0.0f);
+  std::vector<int64_t> touched;
+  for (int64_t r = 0; r < rows_; ++r) {
+    touched.clear();
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      const int64_t mid = col_idx_[p];
+      const float w = values_[p];
+      for (int64_t q = other.row_ptr_[mid]; q < other.row_ptr_[mid + 1]; ++q) {
+        const int64_t c = other.col_idx_[q];
+        if (accumulator[c] == 0.0f) touched.push_back(c);
+        accumulator[c] += w * other.values_[q];
+      }
+    }
+    if (max_row_nnz > 0 &&
+        static_cast<int64_t>(touched.size()) > max_row_nnz) {
+      // Density guard: keep only the strongest entries of this row.
+      std::nth_element(touched.begin(), touched.begin() + max_row_nnz,
+                       touched.end(), [&](int64_t a, int64_t b) {
+                         return std::fabs(accumulator[a]) >
+                                std::fabs(accumulator[b]);
+                       });
+      for (size_t i = max_row_nnz; i < touched.size(); ++i) {
+        accumulator[touched[i]] = 0.0f;
+      }
+      touched.resize(max_row_nnz);
+    }
+    for (int64_t c : touched) {
+      if (accumulator[c] != 0.0f) {
+        triplets.push_back({r, c, accumulator[c]});
+        accumulator[c] = 0.0f;
+      }
+    }
+  }
+  return FromTriplets(rows_, other.cols_, std::move(triplets));
+}
+
+SparseMatrix SparseMatrix::AddSparse(const SparseMatrix& other) const {
+  ADPA_CHECK_EQ(rows_, other.rows_);
+  ADPA_CHECK_EQ(cols_, other.cols_);
+  std::vector<Triplet> triplets;
+  triplets.reserve(nnz() + other.nnz());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      triplets.push_back({r, col_idx_[p], values_[p]});
+    }
+    for (int64_t p = other.row_ptr_[r]; p < other.row_ptr_[r + 1]; ++p) {
+      triplets.push_back({r, other.col_idx_[p], other.values_[p]});
+    }
+  }
+  return FromTriplets(rows_, cols_, std::move(triplets));
+}
+
+void SparseMatrix::ScaleInPlace(float factor) {
+  for (float& value : values_) value *= factor;
+}
+
+SparseMatrix SparseMatrix::Binarized() const {
+  SparseMatrix out = *this;
+  for (float& value : out.values_) value = value != 0.0f ? 1.0f : 0.0f;
+  return out;
+}
+
+std::vector<float> SparseMatrix::RowSums() const {
+  std::vector<float> sums(rows_, 0.0f);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      sums[r] += values_[p];
+    }
+  }
+  return sums;
+}
+
+std::vector<float> SparseMatrix::ColSums() const {
+  std::vector<float> sums(cols_, 0.0f);
+  for (size_t p = 0; p < values_.size(); ++p) sums[col_idx_[p]] += values_[p];
+  return sums;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      out.At(r, col_idx_[p]) = values_[p];
+    }
+  }
+  return out;
+}
+
+std::string SparseMatrix::ToString(int max_entries) const {
+  std::ostringstream out;
+  out << "SparseMatrix(" << rows_ << "x" << cols_ << ", nnz=" << nnz() << ")";
+  int shown = 0;
+  for (int64_t r = 0; r < rows_ && shown < max_entries; ++r) {
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1] && shown < max_entries;
+         ++p, ++shown) {
+      out << " (" << r << "," << col_idx_[p] << ")=" << values_[p];
+    }
+  }
+  return out.str();
+}
+
+SparseMatrix NormalizeConvolution(const SparseMatrix& a, double r) {
+  ADPA_CHECK_GE(r, 0.0);
+  ADPA_CHECK_LE(r, 1.0);
+  const std::vector<float> row_deg = a.RowSums();
+  const std::vector<float> col_deg = a.ColSums();
+  std::vector<Triplet> triplets;
+  triplets.reserve(a.nnz());
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double left =
+        row_deg[i] > 0.0f ? std::pow(static_cast<double>(row_deg[i]), r - 1.0)
+                          : 1.0;
+    for (int64_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const int64_t j = col_idx[p];
+      const double right =
+          col_deg[j] > 0.0f ? std::pow(static_cast<double>(col_deg[j]), -r)
+                            : 1.0;
+      triplets.push_back(
+          {i, j, static_cast<float>(left * right * values[p])});
+    }
+  }
+  return SparseMatrix::FromTriplets(a.rows(), a.cols(), std::move(triplets));
+}
+
+SparseMatrix NormalizeRow(const SparseMatrix& a) {
+  return NormalizeConvolution(a, 0.0);
+}
+
+SparseMatrix NormalizeSymmetric(const SparseMatrix& a) {
+  return NormalizeConvolution(a, 0.5);
+}
+
+SparseMatrix AddSelfLoops(const SparseMatrix& a, float weight) {
+  ADPA_CHECK_EQ(a.rows(), a.cols());
+  std::vector<Triplet> triplets;
+  triplets.reserve(a.nnz() + a.rows());
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+      triplets.push_back({r, col_idx[p], values[p]});
+    }
+    triplets.push_back({r, r, weight});
+  }
+  return SparseMatrix::FromTriplets(a.rows(), a.cols(), std::move(triplets));
+}
+
+}  // namespace adpa

@@ -1,0 +1,151 @@
+#include "src/metrics/homophily.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/logging.h"
+
+namespace adpa {
+namespace {
+
+void ValidateLabels(const Digraph& graph, const std::vector<int64_t>& labels,
+                    int64_t num_classes) {
+  ADPA_CHECK_EQ(static_cast<int64_t>(labels.size()), graph.num_nodes());
+  for (int64_t label : labels) {
+    ADPA_CHECK_GE(label, 0);
+    ADPA_CHECK_LT(label, num_classes);
+  }
+}
+
+}  // namespace
+
+double NodeHomophily(const Digraph& graph,
+                     const std::vector<int64_t>& labels) {
+  ADPA_CHECK_EQ(static_cast<int64_t>(labels.size()), graph.num_nodes());
+  double total = 0.0;
+  int64_t counted = 0;
+  for (int64_t u = 0; u < graph.num_nodes(); ++u) {
+    const auto& neighbors = graph.OutNeighbors(u);
+    if (neighbors.empty()) continue;
+    int64_t same = 0;
+    for (int64_t v : neighbors) same += labels[v] == labels[u];
+    total += static_cast<double>(same) / static_cast<double>(neighbors.size());
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double EdgeHomophily(const Digraph& graph,
+                     const std::vector<int64_t>& labels) {
+  ADPA_CHECK_EQ(static_cast<int64_t>(labels.size()), graph.num_nodes());
+  if (graph.num_edges() == 0) return 0.0;
+  int64_t same = 0;
+  for (const Edge& e : graph.edges()) same += labels[e.src] == labels[e.dst];
+  return static_cast<double>(same) / static_cast<double>(graph.num_edges());
+}
+
+double ClassHomophily(const Digraph& graph,
+                      const std::vector<int64_t>& labels,
+                      int64_t num_classes) {
+  ValidateLabels(graph, labels, num_classes);
+  ADPA_CHECK_GE(num_classes, 2);
+  std::vector<int64_t> class_counts(num_classes, 0);
+  for (int64_t label : labels) ++class_counts[label];
+  std::vector<int64_t> same_edges(num_classes, 0);
+  std::vector<int64_t> total_edges(num_classes, 0);
+  for (const Edge& e : graph.edges()) {
+    ++total_edges[labels[e.src]];
+    same_edges[labels[e.src]] += labels[e.src] == labels[e.dst];
+  }
+  double score = 0.0;
+  const double n = static_cast<double>(graph.num_nodes());
+  for (int64_t c = 0; c < num_classes; ++c) {
+    if (total_edges[c] == 0) continue;
+    const double h_c = static_cast<double>(same_edges[c]) /
+                       static_cast<double>(total_edges[c]);
+    score += std::max(0.0, h_c - static_cast<double>(class_counts[c]) / n);
+  }
+  return score / static_cast<double>(num_classes - 1);
+}
+
+namespace {
+
+/// Degree-weighted class probabilities p̄_c = D_c / Σ D, where D_c sums the
+/// total degree (in + out) of class-c nodes.
+std::vector<double> DegreeWeightedClassProbs(
+    const Digraph& graph, const std::vector<int64_t>& labels,
+    int64_t num_classes) {
+  std::vector<double> degree_mass(num_classes, 0.0);
+  double total = 0.0;
+  for (int64_t u = 0; u < graph.num_nodes(); ++u) {
+    const double degree =
+        static_cast<double>(graph.OutDegree(u) + graph.InDegree(u));
+    degree_mass[labels[u]] += degree;
+    total += degree;
+  }
+  if (total > 0.0) {
+    for (double& mass : degree_mass) mass /= total;
+  }
+  return degree_mass;
+}
+
+}  // namespace
+
+double AdjustedHomophily(const Digraph& graph,
+                         const std::vector<int64_t>& labels,
+                         int64_t num_classes) {
+  ValidateLabels(graph, labels, num_classes);
+  const double h_edge = EdgeHomophily(graph, labels);
+  const std::vector<double> probs =
+      DegreeWeightedClassProbs(graph, labels, num_classes);
+  double expected = 0.0;
+  for (double p : probs) expected += p * p;
+  const double denom = 1.0 - expected;
+  if (std::fabs(denom) < 1e-12) return 0.0;
+  return (h_edge - expected) / denom;
+}
+
+double LabelInformativeness(const Digraph& graph,
+                            const std::vector<int64_t>& labels,
+                            int64_t num_classes) {
+  ValidateLabels(graph, labels, num_classes);
+  if (graph.num_edges() == 0) return 0.0;
+  // Joint distribution of endpoint labels over a uniformly random edge,
+  // symmetrized (each directed edge contributes both orientations).
+  std::vector<double> joint(num_classes * num_classes, 0.0);
+  const double mass = 0.5 / static_cast<double>(graph.num_edges());
+  for (const Edge& e : graph.edges()) {
+    joint[labels[e.src] * num_classes + labels[e.dst]] += mass;
+    joint[labels[e.dst] * num_classes + labels[e.src]] += mass;
+  }
+  std::vector<double> marginal(num_classes, 0.0);
+  for (int64_t a = 0; a < num_classes; ++a) {
+    for (int64_t b = 0; b < num_classes; ++b) {
+      marginal[a] += joint[a * num_classes + b];
+    }
+  }
+  double joint_entropy = 0.0;
+  for (double p : joint) {
+    if (p > 0.0) joint_entropy -= p * std::log(p);
+  }
+  double marginal_entropy = 0.0;
+  for (double p : marginal) {
+    if (p > 0.0) marginal_entropy -= p * std::log(p);
+  }
+  if (marginal_entropy < 1e-12) return 0.0;
+  return 2.0 - joint_entropy / marginal_entropy;
+}
+
+HomophilyReport ComputeHomophilyReport(const Digraph& graph,
+                                       const std::vector<int64_t>& labels,
+                                       int64_t num_classes) {
+  HomophilyReport report;
+  report.node = NodeHomophily(graph, labels);
+  report.edge = EdgeHomophily(graph, labels);
+  report.cls = ClassHomophily(graph, labels, num_classes);
+  report.adjusted = AdjustedHomophily(graph, labels, num_classes);
+  report.li = LabelInformativeness(graph, labels, num_classes);
+  return report;
+}
+
+}  // namespace adpa

@@ -1,0 +1,58 @@
+#ifndef ADPA_METRICS_HOMOPHILY_H_
+#define ADPA_METRICS_HOMOPHILY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/digraph.h"
+
+namespace adpa {
+
+/// The five homophily measures the paper surveys in Sec. II-B (Table I).
+/// All are computed on the graph as given: pass `graph.ToUndirected()` for
+/// the undirected-transformation column of Table I and the natural digraph
+/// for the directed column. For directed graphs, "neighbors" of a node are
+/// its out-neighbors, matching the adjacency-row convention A_d(u, ·).
+struct HomophilyReport {
+  double node = 0.0;      ///< H_node (Pei et al.)
+  double edge = 0.0;      ///< H_edge (Zhu et al.)
+  double cls = 0.0;       ///< H_class (Lim et al.)
+  double adjusted = 0.0;  ///< H_adj (Platonov et al.)
+  double li = 0.0;        ///< Label informativeness (Platonov et al.)
+};
+
+/// Mean over nodes (with at least one out-neighbor) of the fraction of
+/// out-neighbors sharing the node's label.
+double NodeHomophily(const Digraph& graph, const std::vector<int64_t>& labels);
+
+/// Fraction of edges whose endpoints share a label.
+double EdgeHomophily(const Digraph& graph, const std::vector<int64_t>& labels);
+
+/// Class-balanced homophily: (1/(C-1)) Σ_c max(0, h_c - n_c/n), where h_c is
+/// the same-label edge fraction restricted to sources of class c.
+double ClassHomophily(const Digraph& graph, const std::vector<int64_t>& labels,
+                      int64_t num_classes);
+
+/// Adjusted homophily: (H_edge - Σ_c p̄_c²) / (1 - Σ_c p̄_c²) with p̄_c the
+/// degree-weighted class probability. Insensitive to class (im)balance and
+/// can be negative for actively heterophilous graphs.
+double AdjustedHomophily(const Digraph& graph,
+                         const std::vector<int64_t>& labels,
+                         int64_t num_classes);
+
+/// Label informativeness LI = 2 - H(ξ,η)/H(ξ): how much knowing one edge
+/// endpoint's label tells about the other. 1 for deterministic coupling
+/// (including perfectly heterophilous-but-regular structure), 0 for
+/// independence.
+double LabelInformativeness(const Digraph& graph,
+                            const std::vector<int64_t>& labels,
+                            int64_t num_classes);
+
+/// All five measures at once.
+HomophilyReport ComputeHomophilyReport(const Digraph& graph,
+                                       const std::vector<int64_t>& labels,
+                                       int64_t num_classes);
+
+}  // namespace adpa
+
+#endif  // ADPA_METRICS_HOMOPHILY_H_

@@ -1,0 +1,423 @@
+#include "src/models/directed.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/core/logging.h"
+#include "src/core/random.h"
+
+namespace adpa {
+namespace {
+
+/// Per-row fill-in cap for materialized second-order proximities.
+constexpr int64_t kProximityRowCap = 256;
+
+SparseMatrix NormalizedOut(const Dataset& dataset, double conv_r) {
+  return NormalizeConvolution(AddSelfLoops(dataset.graph.AdjacencyMatrix()),
+                              conv_r);
+}
+
+SparseMatrix NormalizedIn(const Dataset& dataset, double conv_r) {
+  return NormalizeConvolution(
+      AddSelfLoops(dataset.graph.AdjacencyMatrix().Transposed()), conv_r);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ DGCN --
+
+DgcnModel::DgcnModel(const Dataset& dataset, const ModelConfig& config,
+                     Rng* rng)
+    : features_(ag::Constant(dataset.features)), dropout_(config.dropout) {
+  const SparseMatrix a = dataset.graph.AdjacencyMatrix();
+  const SparseMatrix at = a.Transposed();
+  op_sym_ = NormalizeSymmetric(AddSelfLoops(a.AddSparse(at).Binarized()));
+  op_out_proximity_ = NormalizeSymmetric(
+      AddSelfLoops(a.MultiplySparse(at, kProximityRowCap).Binarized()));
+  op_in_proximity_ = NormalizeSymmetric(
+      AddSelfLoops(at.MultiplySparse(a, kProximityRowCap).Binarized()));
+
+  const int depth = std::max(2, config.num_layers);
+  int64_t in_dim = dataset.feature_dim();
+  for (int i = 0; i < depth; ++i) {
+    const int64_t out_dim =
+        i + 1 == depth ? dataset.num_classes : config.hidden;
+    // Each layer fuses the three proximities by concatenation: 3*in -> out.
+    fuse_layers_.emplace_back(3 * in_dim, out_dim, rng);
+    in_dim = out_dim;
+  }
+}
+
+ag::Variable DgcnModel::Forward(bool training, Rng* rng) {
+  ag::Variable h = features_;
+  for (size_t i = 0; i < fuse_layers_.size(); ++i) {
+    h = ag::Dropout(h, dropout_, training, rng);
+    ag::Variable fused = ag::ConcatCols({ag::SpMM(op_sym_, h),
+                                         ag::SpMM(op_out_proximity_, h),
+                                         ag::SpMM(op_in_proximity_, h)});
+    h = fuse_layers_[i].Forward(fused);
+    if (i + 1 < fuse_layers_.size()) h = ag::Relu(h);
+  }
+  return h;
+}
+
+std::vector<ag::Variable> DgcnModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const nn::Linear& layer : fuse_layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+// ----------------------------------------------------------------- DiGCN --
+
+DiGcnModel::DiGcnModel(const Dataset& dataset, const ModelConfig& config,
+                       Rng* rng)
+    : features_(ag::Constant(dataset.features)), dropout_(config.dropout) {
+  // P: row-stochastic transition over Â = A + I. π: stationary distribution
+  // of the α-teleport chain, estimated by power iteration.
+  const SparseMatrix p =
+      NormalizeRow(AddSelfLoops(dataset.graph.AdjacencyMatrix()));
+  const int64_t n = p.rows();
+  const float alpha = config.alpha;
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  const auto& row_ptr = p.row_ptr();
+  const auto& col_idx = p.col_idx();
+  const auto& values = p.values();
+  for (int iter = 0; iter < 64; ++iter) {
+    std::fill(next.begin(), next.end(),
+              static_cast<double>(alpha) / static_cast<double>(n));
+    for (int64_t u = 0; u < n; ++u) {
+      const double mass = (1.0 - alpha) * pi[u];
+      for (int64_t e = row_ptr[u]; e < row_ptr[u + 1]; ++e) {
+        next[col_idx[e]] += mass * values[e];
+      }
+    }
+    double delta = 0.0;
+    for (int64_t u = 0; u < n; ++u) delta += std::fabs(next[u] - pi[u]);
+    pi.swap(next);
+    if (delta < 1e-10) break;
+  }
+  // Symmetrized operator: (Π^{1/2} P Π^{-1/2} + Π^{-1/2} Pᵀ Π^{1/2}) / 2.
+  std::vector<Triplet> triplets;
+  triplets.reserve(2 * p.nnz());
+  for (int64_t u = 0; u < n; ++u) {
+    for (int64_t e = row_ptr[u]; e < row_ptr[u + 1]; ++e) {
+      const int64_t v = col_idx[e];
+      const double w = values[e];
+      const double scale = 0.5 * std::sqrt(std::max(pi[u], 1e-12) /
+                                           std::max(pi[v], 1e-12));
+      triplets.push_back({u, v, static_cast<float>(scale * w)});
+      triplets.push_back({v, u, static_cast<float>(scale * w)});
+    }
+  }
+  op_ = SparseMatrix::FromTriplets(n, n, std::move(triplets));
+
+  const int depth = std::max(2, config.num_layers);
+  int64_t in_dim = dataset.feature_dim();
+  for (int i = 0; i < depth; ++i) {
+    const int64_t out_dim =
+        i + 1 == depth ? dataset.num_classes : config.hidden;
+    layers_.emplace_back(in_dim, out_dim, rng);
+    in_dim = out_dim;
+  }
+}
+
+ag::Variable DiGcnModel::Forward(bool training, Rng* rng) {
+  ag::Variable h = features_;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = ag::Dropout(h, dropout_, training, rng);
+    h = layers_[i].Forward(ag::SpMM(op_, h));
+    if (i + 1 < layers_.size()) h = ag::Relu(h);
+  }
+  return h;
+}
+
+std::vector<ag::Variable> DiGcnModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const nn::Linear& layer : layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------- MagNet --
+
+MagNetModel::MagNetModel(const Dataset& dataset, const ModelConfig& config,
+                         Rng* rng)
+    : features_(ag::Constant(dataset.features)), dropout_(config.dropout) {
+  // H = Ã_s ⊙ exp(iΘ), Θ = 2πq(A - Aᵀ); Ã_s is the symmetrically
+  // normalized symmetrized adjacency with self loops.
+  const SparseMatrix a = dataset.graph.AdjacencyMatrix();
+  const SparseMatrix at = a.Transposed();
+  SparseMatrix sym = a.AddSparse(at);
+  sym.ScaleInPlace(0.5f);
+  const SparseMatrix a_s = NormalizeSymmetric(AddSelfLoops(sym.Binarized()));
+  const double q = static_cast<double>(config.magnet_q);
+  std::vector<Triplet> real_t, imag_t;
+  const auto& row_ptr = a_s.row_ptr();
+  const auto& col_idx = a_s.col_idx();
+  const auto& values = a_s.values();
+  for (int64_t u = 0; u < a_s.rows(); ++u) {
+    for (int64_t e = row_ptr[u]; e < row_ptr[u + 1]; ++e) {
+      const int64_t v = col_idx[e];
+      const double theta = 2.0 * std::numbers::pi * q *
+                           (static_cast<double>(a.At(u, v)) -
+                            static_cast<double>(a.At(v, u)));
+      const double w = values[e];
+      real_t.push_back({u, v, static_cast<float>(w * std::cos(theta))});
+      const double imag = w * std::sin(theta);
+      if (imag != 0.0) {
+        imag_t.push_back({u, v, static_cast<float>(imag)});
+      }
+    }
+  }
+  h_real_ = SparseMatrix::FromTriplets(a_s.rows(), a_s.cols(),
+                                       std::move(real_t));
+  h_imag_ = SparseMatrix::FromTriplets(a_s.rows(), a_s.cols(),
+                                       std::move(imag_t));
+
+  const int depth = std::max(2, config.num_layers);
+  int64_t in_dim = dataset.feature_dim();
+  for (int i = 0; i < depth; ++i) {
+    real_layers_.emplace_back(in_dim, config.hidden, rng);
+    imag_layers_.emplace_back(in_dim, config.hidden, rng, /*bias=*/false);
+    in_dim = config.hidden;
+  }
+  unwind_ = nn::Linear(2 * config.hidden, dataset.num_classes, rng);
+}
+
+ag::Variable MagNetModel::Forward(bool training, Rng* rng) {
+  // Complex signal (zr, zi), starting with zi = 0.
+  ag::Variable zr = features_;
+  ag::Variable zi;
+  for (size_t i = 0; i < real_layers_.size(); ++i) {
+    zr = ag::Dropout(zr, dropout_, training, rng);
+    if (zi.defined()) zi = ag::Dropout(zi, dropout_, training, rng);
+    // Propagation: (Hre + iHim)(zr + izi).
+    ag::Variable pr = ag::SpMM(h_real_, zr);
+    ag::Variable pi_var = zi.defined()
+                              ? ag::Add(ag::SpMM(h_real_, zi),
+                                        ag::SpMM(h_imag_, zr))
+                              : ag::SpMM(h_imag_, zr);
+    if (zi.defined()) pr = ag::Sub(pr, ag::SpMM(h_imag_, zi));
+    // Complex linear: (pr + i·pi)(Wr + i·Wi).
+    const nn::Linear& wr = real_layers_[i];
+    const nn::Linear& wi = imag_layers_[i];
+    ag::Variable new_r = ag::Sub(wr.Forward(pr), wi.Forward(pi_var));
+    ag::Variable new_i = ag::Add(wr.Forward(pi_var), wi.Forward(pr));
+    zr = ag::Relu(new_r);
+    zi = ag::Relu(new_i);
+  }
+  return unwind_.Forward(ag::ConcatCols({zr, zi}));
+}
+
+std::vector<ag::Variable> MagNetModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& layer : real_layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  for (const auto& layer : imag_layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  for (const auto& p : unwind_.Parameters()) params.push_back(p);
+  return params;
+}
+
+// ------------------------------------------------------------------ NSTE --
+
+NsteModel::NsteModel(const Dataset& dataset, const ModelConfig& config,
+                     Rng* rng)
+    : features_(ag::Constant(dataset.features)),
+      op_out_(NormalizedOut(dataset, config.conv_r)),
+      op_in_(NormalizedIn(dataset, config.conv_r)),
+      dropout_(config.dropout) {
+  const int depth = std::max(2, config.num_layers);
+  int64_t in_dim = dataset.feature_dim();
+  for (int i = 0; i < depth; ++i) {
+    layers_.push_back({nn::Linear(in_dim, config.hidden, rng),
+                       nn::Linear(in_dim, config.hidden, rng, false),
+                       nn::Linear(in_dim, config.hidden, rng, false)});
+    // 0.5 keeps the summed self+in+out magnitude near the single-branch
+    // scale at init; 1.0 makes deep stacks prone to divergence.
+    mix_out_.push_back(ag::Parameter(Matrix(1, 1, 0.5f)));
+    mix_in_.push_back(ag::Parameter(Matrix(1, 1, 0.5f)));
+    in_dim = config.hidden;
+  }
+  classifier_ = nn::Linear(config.hidden, dataset.num_classes, rng);
+}
+
+ag::Variable NsteModel::Forward(bool training, Rng* rng) {
+  ag::Variable h = features_;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = ag::Dropout(h, dropout_, training, rng);
+    ag::Variable self_term = layers_[i].self.Forward(h);
+    ag::Variable out_term = ag::ScaleScalar(
+        layers_[i].out.Forward(ag::SpMM(op_out_, h)), mix_out_[i]);
+    ag::Variable in_term = ag::ScaleScalar(
+        layers_[i].in.Forward(ag::SpMM(op_in_, h)), mix_in_[i]);
+    h = ag::Relu(ag::Add(ag::Add(self_term, out_term), in_term));
+  }
+  return classifier_.Forward(h);
+}
+
+std::vector<ag::Variable> NsteModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& layer : layers_) {
+    for (const auto& p : layer.self.Parameters()) params.push_back(p);
+    for (const auto& p : layer.out.Parameters()) params.push_back(p);
+    for (const auto& p : layer.in.Parameters()) params.push_back(p);
+  }
+  for (const auto& s : mix_out_) params.push_back(s);
+  for (const auto& s : mix_in_) params.push_back(s);
+  for (const auto& p : classifier_.Parameters()) params.push_back(p);
+  return params;
+}
+
+// ----------------------------------------------------------------- DIMPA --
+
+DimpaModel::DimpaModel(const Dataset& dataset, const ModelConfig& config,
+                       Rng* rng)
+    : features_(ag::Constant(dataset.features)),
+      op_out_(NormalizedOut(dataset, /*conv_r=*/0.0)),  // row-stochastic
+      op_in_(NormalizedIn(dataset, /*conv_r=*/0.0)),
+      encoder_(dataset.feature_dim(), config.hidden, config.hidden,
+               /*num_layers=*/2, rng, config.dropout),
+      steps_(std::max(1, config.propagation_steps)),
+      dropout_(config.dropout) {
+  for (int k = 0; k <= steps_; ++k) {
+    weights_out_.push_back(ag::Parameter(Matrix(1, 1, 1.0f)));
+    weights_in_.push_back(ag::Parameter(Matrix(1, 1, 1.0f)));
+  }
+  classifier_ = nn::Linear(2 * config.hidden, dataset.num_classes, rng);
+}
+
+ag::Variable DimpaModel::Forward(bool training, Rng* rng) {
+  ag::Variable h = encoder_.Forward(features_, training, rng);
+  ag::Variable s_out = ag::ScaleScalar(h, weights_out_[0]);
+  ag::Variable s_in = ag::ScaleScalar(h, weights_in_[0]);
+  ag::Variable hop_out = h;
+  ag::Variable hop_in = h;
+  for (int k = 1; k <= steps_; ++k) {
+    hop_out = ag::SpMM(op_out_, hop_out);
+    hop_in = ag::SpMM(op_in_, hop_in);
+    s_out = ag::Add(s_out, ag::ScaleScalar(hop_out, weights_out_[k]));
+    s_in = ag::Add(s_in, ag::ScaleScalar(hop_in, weights_in_[k]));
+  }
+  ag::Variable combined = ag::ConcatCols({s_out, s_in});
+  combined = ag::Dropout(combined, dropout_, training, rng);
+  return classifier_.Forward(combined);
+}
+
+std::vector<ag::Variable> DimpaModel::Parameters() const {
+  std::vector<ag::Variable> params = encoder_.Parameters();
+  for (const auto& w : weights_out_) params.push_back(w);
+  for (const auto& w : weights_in_) params.push_back(w);
+  for (const auto& p : classifier_.Parameters()) params.push_back(p);
+  return params;
+}
+
+// ---------------------------------------------------------------- DirGNN --
+
+DirGnnModel::DirGnnModel(const Dataset& dataset, const ModelConfig& config,
+                         Rng* rng)
+    : features_(ag::Constant(dataset.features)),
+      op_out_(NormalizedOut(dataset, config.conv_r)),
+      op_in_(NormalizedIn(dataset, config.conv_r)),
+      hidden_(config.hidden),
+      dropout_(config.dropout) {
+  const int depth = std::max(2, config.num_layers);
+  int64_t in_dim = dataset.feature_dim();
+  for (int i = 0; i < depth; ++i) {
+    layers_.push_back({nn::Linear(in_dim, config.hidden, rng),
+                       nn::Linear(in_dim, config.hidden, rng, false),
+                       nn::Linear(in_dim, config.hidden, rng, false)});
+    in_dim = config.hidden;
+  }
+  // Jumping knowledge over all layer outputs.
+  jk_classifier_ =
+      nn::Linear(depth * config.hidden, dataset.num_classes, rng);
+}
+
+ag::Variable DirGnnModel::Forward(bool training, Rng* rng) {
+  ag::Variable h = features_;
+  std::vector<ag::Variable> jumps;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = ag::Dropout(h, dropout_, training, rng);
+    // α = 0.5 in/out mixing realized through independent weights.
+    ag::Variable combined =
+        ag::Add(ag::Add(layers_[i].self.Forward(h),
+                        layers_[i].out.Forward(ag::SpMM(op_out_, h))),
+                layers_[i].in.Forward(ag::SpMM(op_in_, h)));
+    h = ag::Relu(combined);
+    jumps.push_back(h);
+  }
+  return jk_classifier_.Forward(ag::ConcatCols(jumps));
+}
+
+std::vector<ag::Variable> DirGnnModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& layer : layers_) {
+    for (const auto& p : layer.self.Parameters()) params.push_back(p);
+    for (const auto& p : layer.out.Parameters()) params.push_back(p);
+    for (const auto& p : layer.in.Parameters()) params.push_back(p);
+  }
+  for (const auto& p : jk_classifier_.Parameters()) params.push_back(p);
+  return params;
+}
+
+// ----------------------------------------------------------------- A2DUG --
+
+A2dugModel::A2dugModel(const Dataset& dataset, const ModelConfig& config,
+                       Rng* rng)
+    : dropout_(config.dropout) {
+  const SparseMatrix a = dataset.graph.AdjacencyMatrix();
+  adj_directed_ = a;
+  adj_transposed_ = a.Transposed();
+  adj_undirected_ = a.AddSparse(adj_transposed_).Binarized();
+  const SparseMatrix norm_d = NormalizeRow(AddSelfLoops(adj_directed_));
+  const SparseMatrix norm_t = NormalizeRow(AddSelfLoops(adj_transposed_));
+  const SparseMatrix norm_u = NormalizeRow(AddSelfLoops(adj_undirected_));
+
+  // Training-free aggregated features for every view.
+  aggregated_.push_back(ag::Constant(dataset.features));
+  aggregated_.push_back(ag::Constant(norm_d.Multiply(dataset.features)));
+  aggregated_.push_back(ag::Constant(norm_t.Multiply(dataset.features)));
+  aggregated_.push_back(ag::Constant(norm_u.Multiply(dataset.features)));
+
+  const int64_t n = dataset.num_nodes();
+  embed_directed_ =
+      ag::Parameter(nn::GlorotUniform(n, config.hidden / 2, rng));
+  embed_transposed_ =
+      ag::Parameter(nn::GlorotUniform(n, config.hidden / 2, rng));
+  embed_undirected_ =
+      ag::Parameter(nn::GlorotUniform(n, config.hidden / 2, rng));
+
+  const int64_t agg_dim = 4 * dataset.feature_dim();
+  input_proj_ = nn::Linear(agg_dim, config.hidden, rng);
+  fuse_mlp_ = nn::Mlp(config.hidden + 3 * (config.hidden / 2), config.hidden,
+                      dataset.num_classes, std::max(2, config.num_layers),
+                      rng, config.dropout);
+}
+
+ag::Variable A2dugModel::Forward(bool training, Rng* rng) {
+  ag::Variable agg = ag::ConcatCols(aggregated_);
+  agg = ag::Dropout(agg, dropout_, training, rng);
+  ag::Variable h_agg = ag::Relu(input_proj_.Forward(agg));
+  ag::Variable h_d = ag::Relu(ag::SpMM(adj_directed_, embed_directed_));
+  ag::Variable h_t = ag::Relu(ag::SpMM(adj_transposed_, embed_transposed_));
+  ag::Variable h_u = ag::Relu(ag::SpMM(adj_undirected_, embed_undirected_));
+  ag::Variable fused = ag::ConcatCols({h_agg, h_d, h_t, h_u});
+  return fuse_mlp_.Forward(fused, training, rng);
+}
+
+std::vector<ag::Variable> A2dugModel::Parameters() const {
+  std::vector<ag::Variable> params = {embed_directed_, embed_transposed_,
+                                      embed_undirected_};
+  for (const auto& p : input_proj_.Parameters()) params.push_back(p);
+  for (const auto& p : fuse_mlp_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace adpa

@@ -1,0 +1,169 @@
+#ifndef ADPA_MODELS_DIRECTED_H_
+#define ADPA_MODELS_DIRECTED_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/sparse_matrix.h"
+#include "src/models/model.h"
+#include "src/tensor/nn.h"
+
+namespace adpa {
+
+// Directed baselines (paper Sec. II-C). They consume the dataset's graph
+// as given; the paper's D-/U- rows are produced by feeding the natural
+// digraph vs. `dataset.WithUndirectedGraph()`.
+
+/// DGCN (Tong et al.): convolution over the undirected proximity plus the
+/// two second-order proximities A·Aᵀ (co-targets) and Aᵀ·A (co-sources),
+/// fused by concatenation per layer.
+class DgcnModel : public Model {
+ public:
+  DgcnModel(const Dataset& dataset, const ModelConfig& config, Rng* rng);
+  ag::Variable Forward(bool training, Rng* rng) override;
+  std::vector<ag::Variable> Parameters() const override;
+  std::string name() const override { return "DGCN"; }
+
+ private:
+  ag::Variable features_;
+  SparseMatrix op_sym_;
+  SparseMatrix op_out_proximity_;  // normalized A·Aᵀ
+  SparseMatrix op_in_proximity_;   // normalized Aᵀ·A
+  std::vector<nn::Linear> fuse_layers_;
+  float dropout_;
+};
+
+/// DiGCN (Tong et al.): convolution with the α-personalized-PageRank
+/// symmetric digraph operator (Π^{1/2} P Π^{-1/2} + Π^{-1/2} Pᵀ Π^{1/2})/2.
+class DiGcnModel : public Model {
+ public:
+  DiGcnModel(const Dataset& dataset, const ModelConfig& config, Rng* rng);
+  ag::Variable Forward(bool training, Rng* rng) override;
+  std::vector<ag::Variable> Parameters() const override;
+  std::string name() const override { return "DiGCN"; }
+
+ private:
+  ag::Variable features_;
+  SparseMatrix op_;
+  std::vector<nn::Linear> layers_;
+  float dropout_;
+};
+
+/// MagNet (Zhang et al.): spectral convolution with the q-magnetic
+/// Laplacian — a complex Hermitian operator realized as paired real/imag
+/// CSR matrices and a two-channel complex signal path.
+class MagNetModel : public Model {
+ public:
+  MagNetModel(const Dataset& dataset, const ModelConfig& config, Rng* rng);
+  ag::Variable Forward(bool training, Rng* rng) override;
+  std::vector<ag::Variable> Parameters() const override;
+  std::string name() const override { return "MagNet"; }
+
+ private:
+  ag::Variable features_;
+  SparseMatrix h_real_;
+  SparseMatrix h_imag_;
+  // Complex linear layers: separate real/imag weight pairs per layer.
+  std::vector<nn::Linear> real_layers_;
+  std::vector<nn::Linear> imag_layers_;
+  nn::Linear unwind_;  // concat(real, imag) -> classes
+  float dropout_;
+};
+
+/// NSTE (Kollias et al.): 1-WL-inspired stacked layers with independent
+/// self/in/out transforms and learnable in/out mixing scalars.
+class NsteModel : public Model {
+ public:
+  NsteModel(const Dataset& dataset, const ModelConfig& config, Rng* rng);
+  ag::Variable Forward(bool training, Rng* rng) override;
+  std::vector<ag::Variable> Parameters() const override;
+  std::string name() const override { return "NSTE"; }
+
+ private:
+  ag::Variable features_;
+  SparseMatrix op_out_;
+  SparseMatrix op_in_;
+  struct Layer {
+    nn::Linear self;
+    nn::Linear out;
+    nn::Linear in;
+  };
+  std::vector<Layer> layers_;
+  std::vector<ag::Variable> mix_out_;  // one scalar per layer
+  std::vector<ag::Variable> mix_in_;
+  nn::Linear classifier_;
+  float dropout_;
+};
+
+/// DIMPA (He et al.): K-hop weighted in/out aggregations s = Σ_k w_k Āᵏ H
+/// with learnable hop weights, combined by concatenation.
+class DimpaModel : public Model {
+ public:
+  DimpaModel(const Dataset& dataset, const ModelConfig& config, Rng* rng);
+  ag::Variable Forward(bool training, Rng* rng) override;
+  std::vector<ag::Variable> Parameters() const override;
+  std::string name() const override { return "DIMPA"; }
+
+ private:
+  ag::Variable features_;
+  SparseMatrix op_out_;
+  SparseMatrix op_in_;
+  nn::Mlp encoder_;
+  std::vector<ag::Variable> weights_out_;  // K+1 scalars
+  std::vector<ag::Variable> weights_in_;
+  nn::Linear classifier_;
+  int steps_;
+  float dropout_;
+};
+
+/// Dir-GNN (Rossi et al.): per-layer separate in/out propagation with
+/// independent weights and jumping-knowledge concatenation.
+class DirGnnModel : public Model {
+ public:
+  DirGnnModel(const Dataset& dataset, const ModelConfig& config, Rng* rng);
+  ag::Variable Forward(bool training, Rng* rng) override;
+  std::vector<ag::Variable> Parameters() const override;
+  std::string name() const override { return "DirGNN"; }
+
+ private:
+  ag::Variable features_;
+  SparseMatrix op_out_;
+  SparseMatrix op_in_;
+  struct Layer {
+    nn::Linear self;
+    nn::Linear out;
+    nn::Linear in;
+  };
+  std::vector<Layer> layers_;
+  nn::Linear jk_classifier_;
+  int64_t hidden_;
+  float dropout_;
+};
+
+/// A2DUG (Maekawa et al.): jointly leverages aggregated features and
+/// adjacency-list embeddings for both the directed and undirected views,
+/// fused by a single MLP (no recursive propagation).
+class A2dugModel : public Model {
+ public:
+  A2dugModel(const Dataset& dataset, const ModelConfig& config, Rng* rng);
+  ag::Variable Forward(bool training, Rng* rng) override;
+  std::vector<ag::Variable> Parameters() const override;
+  std::string name() const override { return "A2DUG"; }
+
+ private:
+  // Precomputed aggregations: X, A X, Aᵀ X, A_u X (training-free).
+  std::vector<ag::Variable> aggregated_;
+  SparseMatrix adj_directed_;
+  SparseMatrix adj_transposed_;
+  SparseMatrix adj_undirected_;
+  ag::Variable embed_directed_;
+  ag::Variable embed_transposed_;
+  ag::Variable embed_undirected_;
+  nn::Linear input_proj_;
+  nn::Mlp fuse_mlp_;
+  float dropout_;
+};
+
+}  // namespace adpa
+
+#endif  // ADPA_MODELS_DIRECTED_H_

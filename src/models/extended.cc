@@ -1,0 +1,146 @@
+#include "src/models/extended.h"
+
+#include "src/core/logging.h"
+#include "src/core/random.h"
+
+namespace adpa {
+namespace {
+
+constexpr int64_t kProximityRowCap = 256;
+
+/// Exact 2-hop neighborhood: nodes reachable in two (undirected) steps but
+/// not adjacent and not the node itself — H2GCN's N̄₂.
+SparseMatrix TwoHopNeighborhood(const SparseMatrix& adjacency) {
+  const SparseMatrix squared =
+      adjacency.MultiplySparse(adjacency, kProximityRowCap).Binarized();
+  std::vector<Triplet> triplets;
+  const auto& row_ptr = squared.row_ptr();
+  const auto& col_idx = squared.col_idx();
+  for (int64_t u = 0; u < squared.rows(); ++u) {
+    for (int64_t p = row_ptr[u]; p < row_ptr[u + 1]; ++p) {
+      const int64_t v = col_idx[p];
+      if (v != u && adjacency.At(u, v) == 0.0f) {
+        triplets.push_back({u, v, 1.0f});
+      }
+    }
+  }
+  return SparseMatrix::FromTriplets(squared.rows(), squared.cols(),
+                                    std::move(triplets));
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- H2GCN --
+
+H2GcnModel::H2GcnModel(const Dataset& dataset, const ModelConfig& config,
+                       Rng* rng)
+    : features_(ag::Constant(dataset.features)),
+      rounds_(std::max(1, std::min(config.propagation_steps, 3))),
+      dropout_(config.dropout) {
+  // H2GCN uses the symmetrized topology with ego/neighbor separation
+  // (no self loops in the propagation operators).
+  const SparseMatrix a = dataset.graph.AdjacencyMatrix();
+  const SparseMatrix sym = a.AddSparse(a.Transposed()).Binarized();
+  hop1_ = NormalizeSymmetric(sym);
+  hop2_ = NormalizeSymmetric(TwoHopNeighborhood(sym));
+  embed_ = nn::Linear(dataset.feature_dim(), config.hidden, rng);
+  // Jump connection over h0 plus 2 blocks per round.
+  const int64_t final_dim = config.hidden * (1 + 2 * rounds_);
+  classifier_ = nn::Linear(final_dim, dataset.num_classes, rng);
+}
+
+ag::Variable H2GcnModel::Forward(bool training, Rng* rng) {
+  ag::Variable h0 = ag::Relu(embed_.Forward(
+      ag::Dropout(features_, dropout_, training, rng)));
+  std::vector<ag::Variable> jumps = {h0};
+  ag::Variable current = h0;
+  for (int round = 0; round < rounds_; ++round) {
+    ag::Variable n1 = ag::SpMM(hop1_, current);
+    ag::Variable n2 = ag::SpMM(hop2_, current);
+    jumps.push_back(n1);
+    jumps.push_back(n2);
+    // Recurrent state: the sum keeps width constant across rounds (the
+    // original's growing concatenation is preserved through `jumps`).
+    current = ag::Add(n1, n2);
+  }
+  ag::Variable jumped = ag::ConcatCols(jumps);
+  jumped = ag::Dropout(jumped, dropout_, training, rng);
+  return classifier_.Forward(jumped);
+}
+
+std::vector<ag::Variable> H2GcnModel::Parameters() const {
+  std::vector<ag::Variable> params = embed_.Parameters();
+  for (const auto& p : classifier_.Parameters()) params.push_back(p);
+  return params;
+}
+
+// ----------------------------------------------------------------- APPNP --
+
+AppnpModel::AppnpModel(const Dataset& dataset, const ModelConfig& config,
+                       Rng* rng)
+    : features_(ag::Constant(dataset.features)),
+      op_(NormalizeSymmetric(
+          AddSelfLoops(dataset.graph.AdjacencyMatrix()))),
+      encoder_(dataset.feature_dim(), config.hidden, dataset.num_classes,
+               /*num_layers=*/2, rng, config.dropout),
+      steps_(std::max(1, config.propagation_steps)),
+      alpha_(config.alpha) {}
+
+ag::Variable AppnpModel::Forward(bool training, Rng* rng) {
+  ag::Variable h = encoder_.Forward(features_, training, rng);
+  ag::Variable z = h;
+  for (int k = 0; k < steps_; ++k) {
+    z = ag::Add(ag::Scale(ag::SpMM(op_, z), 1.0f - alpha_),
+                ag::Scale(h, alpha_));
+  }
+  return z;
+}
+
+std::vector<ag::Variable> AppnpModel::Parameters() const {
+  return encoder_.Parameters();
+}
+
+// ------------------------------------------------------------- GraphSAGE --
+
+GraphSageModel::GraphSageModel(const Dataset& dataset,
+                               const ModelConfig& config, Rng* rng)
+    : features_(ag::Constant(dataset.features)),
+      mean_op_(NormalizeRow(dataset.graph.AdjacencyMatrix())),
+      dropout_(config.dropout) {
+  const int depth = std::max(2, config.num_layers);
+  int64_t in_dim = dataset.feature_dim();
+  for (int i = 0; i < depth; ++i) {
+    layers_.push_back({nn::Linear(in_dim, config.hidden, rng),
+                       nn::Linear(in_dim, config.hidden, rng, false)});
+    in_dim = config.hidden;
+  }
+  classifier_ = nn::Linear(config.hidden, dataset.num_classes, rng);
+}
+
+ag::Variable GraphSageModel::Forward(bool training, Rng* rng) {
+  ag::Variable h = features_;
+  for (const Layer& layer : layers_) {
+    h = ag::Dropout(h, dropout_, training, rng);
+    h = ag::Relu(ag::Add(layer.self.Forward(h),
+                         layer.neighbor.Forward(ag::SpMM(mean_op_, h))));
+  }
+  return classifier_.Forward(h);
+}
+
+std::vector<ag::Variable> GraphSageModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const Layer& layer : layers_) {
+    for (const auto& p : layer.self.Parameters()) params.push_back(p);
+    for (const auto& p : layer.neighbor.Parameters()) params.push_back(p);
+  }
+  for (const auto& p : classifier_.Parameters()) params.push_back(p);
+  return params;
+}
+
+const std::vector<std::string>& ExtendedModelNames() {
+  static const std::vector<std::string>& names =
+      *new std::vector<std::string>{"H2GCN", "APPNP", "GraphSAGE"};
+  return names;
+}
+
+}  // namespace adpa

@@ -1,0 +1,81 @@
+#ifndef ADPA_MODELS_EXTENDED_H_
+#define ADPA_MODELS_EXTENDED_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/sparse_matrix.h"
+#include "src/models/model.h"
+#include "src/tensor/nn.h"
+
+namespace adpa {
+
+// Extension baselines beyond the paper's Table III/IV panel — the methods
+// its background section builds on (Sec. II-B). Available through the
+// factory under their own names and through ExtendedModelNames().
+
+/// H2GCN (Zhu et al.): ego/neighbor separation, higher-order (2-hop)
+/// neighborhoods, and intermediate-representation combination — the
+/// heterophily design trio. Decoupled variant: rounds of
+/// h_k = [Ā₁ h_{k-1} ‖ Ā₂ h_{k-1}] with a final jump concatenation.
+class H2GcnModel : public Model {
+ public:
+  H2GcnModel(const Dataset& dataset, const ModelConfig& config, Rng* rng);
+  ag::Variable Forward(bool training, Rng* rng) override;
+  std::vector<ag::Variable> Parameters() const override;
+  std::string name() const override { return "H2GCN"; }
+
+ private:
+  ag::Variable features_;
+  SparseMatrix hop1_;  // sym-normalized 1-hop, no self loops
+  SparseMatrix hop2_;  // sym-normalized exact-2-hop neighborhood
+  nn::Linear embed_;
+  nn::Linear classifier_;
+  int rounds_;
+  float dropout_;
+};
+
+/// APPNP (Klicpera et al.): predict-then-propagate — an MLP followed by
+/// K personalized-PageRank iterations Z ← (1-α) Ã Z + α H.
+class AppnpModel : public Model {
+ public:
+  AppnpModel(const Dataset& dataset, const ModelConfig& config, Rng* rng);
+  ag::Variable Forward(bool training, Rng* rng) override;
+  std::vector<ag::Variable> Parameters() const override;
+  std::string name() const override { return "APPNP"; }
+
+ private:
+  ag::Variable features_;
+  SparseMatrix op_;
+  nn::Mlp encoder_;
+  int steps_;
+  float alpha_;
+};
+
+/// GraphSAGE (Hamilton et al.), mean aggregator, full-batch:
+/// h' = relu(W_self h + W_neigh · mean-aggregate(h)).
+class GraphSageModel : public Model {
+ public:
+  GraphSageModel(const Dataset& dataset, const ModelConfig& config, Rng* rng);
+  ag::Variable Forward(bool training, Rng* rng) override;
+  std::vector<ag::Variable> Parameters() const override;
+  std::string name() const override { return "GraphSAGE"; }
+
+ private:
+  ag::Variable features_;
+  SparseMatrix mean_op_;  // row-normalized adjacency (no self loops)
+  struct Layer {
+    nn::Linear self;
+    nn::Linear neighbor;
+  };
+  std::vector<Layer> layers_;
+  nn::Linear classifier_;
+  float dropout_;
+};
+
+/// Names of the extension models (not part of the paper's 16-row tables).
+const std::vector<std::string>& ExtendedModelNames();
+
+}  // namespace adpa
+
+#endif  // ADPA_MODELS_EXTENDED_H_

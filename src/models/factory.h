@@ -1,0 +1,37 @@
+#ifndef ADPA_MODELS_FACTORY_H_
+#define ADPA_MODELS_FACTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/models/model.h"
+
+namespace adpa {
+
+/// Instantiates a model by its paper name ("GCN", "MagNet", "ADPA", ...).
+/// The dataset is consumed as given: callers choose the U-/D- input by
+/// passing the natural digraph or `dataset.WithUndirectedGraph()`.
+Result<ModelPtr> CreateModel(const std::string& name, const Dataset& dataset,
+                             const ModelConfig& config, Rng* rng);
+
+/// The 8 undirected baselines of the paper's tables (Sec. V-A), in table
+/// order: GCN, SGC, LINKX, BerNet, JacobiConv, GPRGNN, GloGNN, AERO-GNN.
+const std::vector<std::string>& UndirectedModelNames();
+
+/// The 7 directed baselines: DGCN, DiGCN, MagNet, NSTE, DIMPA, DirGNN,
+/// A2DUG.
+const std::vector<std::string>& DirectedModelNames();
+
+/// All 16 models (undirected + directed + ADPA), Table III/IV row order.
+const std::vector<std::string>& AllModelNames();
+
+/// True for models that exploit edge direction (Table III/IV's lower
+/// block plus ADPA). Extension models (H2GCN, APPNP, GraphSAGE — see
+/// `src/models/extended.h`) are undirected and resolvable by CreateModel
+/// but not part of the paper's 16-row tables.
+bool IsDirectedModel(const std::string& name);
+
+}  // namespace adpa
+
+#endif  // ADPA_MODELS_FACTORY_H_

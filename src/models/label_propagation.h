@@ -1,0 +1,34 @@
+#ifndef ADPA_MODELS_LABEL_PROPAGATION_H_
+#define ADPA_MODELS_LABEL_PROPAGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/tensor/matrix.h"
+
+namespace adpa {
+
+/// Classic label propagation (Zhu & Ghahramani), the parameter-free method
+/// whose "consistent and strong performance" the paper cites as the
+/// empirical basis of the homophily assumption (Sec. II-B). Iterates
+///   F ← (1-α) Ã F + α F⁰
+/// from the one-hot training labels F⁰, with training rows clamped.
+struct LabelPropagationResult {
+  Matrix scores;                     ///< n x C soft label distribution
+  std::vector<int64_t> predictions;  ///< argmax per node
+};
+
+/// Runs `steps` propagation rounds with restart weight `alpha` over the
+/// symmetrically normalized adjacency of `dataset.graph` (as given: pass
+/// an undirected transformation for the classical algorithm).
+LabelPropagationResult PropagateLabels(const Dataset& dataset, int steps,
+                                       float alpha);
+
+/// Accuracy of PropagateLabels on the dataset's test split.
+double LabelPropagationAccuracy(const Dataset& dataset, int steps = 10,
+                                float alpha = 0.1f);
+
+}  // namespace adpa
+
+#endif  // ADPA_MODELS_LABEL_PROPAGATION_H_

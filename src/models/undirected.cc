@@ -1,0 +1,354 @@
+#include "src/models/undirected.h"
+
+#include <cmath>
+
+#include "src/core/logging.h"
+#include "src/core/random.h"
+
+namespace adpa {
+namespace {
+
+/// The shared Eq. (1) convolution operator Ã = D̂^{r-1}(A+I)D̂^{-r}.
+SparseMatrix ConvolutionOperator(const Dataset& dataset, double conv_r) {
+  return NormalizeConvolution(AddSelfLoops(dataset.graph.AdjacencyMatrix()),
+                              conv_r);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- MLP --
+
+MlpModel::MlpModel(const Dataset& dataset, const ModelConfig& config,
+                   Rng* rng)
+    : features_(ag::Constant(dataset.features)),
+      mlp_(dataset.feature_dim(), config.hidden, dataset.num_classes,
+           config.num_layers, rng, config.dropout),
+      dropout_(config.dropout) {}
+
+ag::Variable MlpModel::Forward(bool training, Rng* rng) {
+  ag::Variable h = ag::Dropout(features_, dropout_, training, rng);
+  return mlp_.Forward(h, training, rng);
+}
+
+std::vector<ag::Variable> MlpModel::Parameters() const {
+  return mlp_.Parameters();
+}
+
+// ------------------------------------------------------------------- GCN --
+
+GcnModel::GcnModel(const Dataset& dataset, const ModelConfig& config,
+                   Rng* rng)
+    : features_(ag::Constant(dataset.features)),
+      op_(ConvolutionOperator(dataset, config.conv_r)),
+      dropout_(config.dropout) {
+  const int depth = std::max(2, config.num_layers);
+  int64_t in_dim = dataset.feature_dim();
+  for (int i = 0; i < depth; ++i) {
+    const int64_t out_dim =
+        i + 1 == depth ? dataset.num_classes : config.hidden;
+    layers_.emplace_back(in_dim, out_dim, rng);
+    in_dim = out_dim;
+  }
+}
+
+ag::Variable GcnModel::Forward(bool training, Rng* rng) {
+  ag::Variable h = features_;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = ag::Dropout(h, dropout_, training, rng);
+    h = ag::SpMM(op_, h);
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = ag::Relu(h);
+  }
+  return h;
+}
+
+std::vector<ag::Variable> GcnModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const nn::Linear& layer : layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+// ------------------------------------------------------------------- SGC --
+
+SgcModel::SgcModel(const Dataset& dataset, const ModelConfig& config,
+                   Rng* rng)
+    : classifier_(dataset.feature_dim(), dataset.num_classes, rng) {
+  const SparseMatrix op = ConvolutionOperator(dataset, config.conv_r);
+  Matrix x = dataset.features;
+  for (int k = 0; k < std::max(1, config.propagation_steps); ++k) {
+    x = op.Multiply(x);
+  }
+  propagated_ = ag::Constant(std::move(x));
+}
+
+ag::Variable SgcModel::Forward(bool training, Rng* rng) {
+  (void)training;
+  (void)rng;
+  return classifier_.Forward(propagated_);
+}
+
+std::vector<ag::Variable> SgcModel::Parameters() const {
+  return classifier_.Parameters();
+}
+
+// ----------------------------------------------------------------- LINKX --
+
+LinkxModel::LinkxModel(const Dataset& dataset, const ModelConfig& config,
+                       Rng* rng)
+    : features_(ag::Constant(dataset.features)),
+      adjacency_(dataset.graph.AdjacencyMatrix()),
+      adj_embedding_(
+          ag::Parameter(nn::GlorotUniform(dataset.num_nodes(), config.hidden,
+                                          rng))),
+      feature_mlp_(dataset.feature_dim(), config.hidden, config.hidden,
+                   /*num_layers=*/2, rng, config.dropout),
+      fuse_mlp_(2 * config.hidden, config.hidden, dataset.num_classes,
+                std::max(2, config.num_layers), rng, config.dropout),
+      dropout_(config.dropout) {}
+
+ag::Variable LinkxModel::Forward(bool training, Rng* rng) {
+  // h_A = MLP_A(A): the first layer of MLP_A over adjacency rows is exactly
+  // A @ W with a per-node embedding table W, computed sparsely.
+  ag::Variable h_adj = ag::Relu(ag::SpMM(adjacency_, adj_embedding_));
+  ag::Variable h_feat = feature_mlp_.Forward(features_, training, rng);
+  ag::Variable fused = ag::ConcatCols({h_adj, h_feat});
+  fused = ag::Dropout(fused, dropout_, training, rng);
+  return fuse_mlp_.Forward(fused, training, rng);
+}
+
+std::vector<ag::Variable> LinkxModel::Parameters() const {
+  std::vector<ag::Variable> params = {adj_embedding_};
+  for (const auto& p : feature_mlp_.Parameters()) params.push_back(p);
+  for (const auto& p : fuse_mlp_.Parameters()) params.push_back(p);
+  return params;
+}
+
+// ---------------------------------------------------------------- GloGNN --
+
+GloGnnModel::GloGnnModel(const Dataset& dataset, const ModelConfig& config,
+                         Rng* rng)
+    : features_(ag::Constant(dataset.features)),
+      encoder_(dataset.feature_dim(), config.hidden, config.hidden,
+               /*num_layers=*/2, rng, config.dropout),
+      query_(config.hidden, config.hidden, rng, /*bias=*/false),
+      key_(config.hidden, config.hidden, rng, /*bias=*/false),
+      classifier_(config.hidden, dataset.num_classes, rng),
+      // σ(2) ≈ 0.88: start close to the residual path so the low-rank
+      // global term is phased in by training rather than drowning the
+      // signal at initialization.
+      gamma_(ag::Parameter(Matrix(1, 1, 2.0f))),
+      dropout_(config.dropout) {}
+
+ag::Variable GloGnnModel::Forward(bool training, Rng* rng) {
+  ag::Variable z0 = encoder_.Forward(features_, training, rng);
+  // Low-rank global mixing: T·Z₀ ≈ Q (Kᵀ Z₀) / n. The rank-h factorization
+  // replaces GloGNN's dense n x n coefficient matrix at O(n·h²) cost while
+  // keeping the global (all-pairs) information flow.
+  ag::Variable q = query_.Forward(z0);
+  ag::Variable k = key_.Forward(z0);
+  ag::Variable kt_z = ag::MatMulTransposeA(k, z0);  // h x h
+  ag::Variable global = ag::Scale(
+      ag::MatMul(q, kt_z), 1.0f / static_cast<float>(features_.rows()));
+  ag::Variable gate = ag::Sigmoid(gamma_);
+  ag::Variable one_minus = ag::Sub(ag::Constant(Matrix(1, 1, 1.0f)), gate);
+  ag::Variable mixed = ag::Add(ag::ScaleScalar(global, one_minus),
+                               ag::ScaleScalar(z0, gate));
+  mixed = ag::Dropout(ag::Relu(mixed), dropout_, training, rng);
+  return classifier_.Forward(mixed);
+}
+
+std::vector<ag::Variable> GloGnnModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& p : encoder_.Parameters()) params.push_back(p);
+  for (const auto& p : query_.Parameters()) params.push_back(p);
+  for (const auto& p : key_.Parameters()) params.push_back(p);
+  for (const auto& p : classifier_.Parameters()) params.push_back(p);
+  params.push_back(gamma_);
+  return params;
+}
+
+// -------------------------------------------------------------- AERO-GNN --
+
+AeroGnnModel::AeroGnnModel(const Dataset& dataset, const ModelConfig& config,
+                           Rng* rng)
+    : encoder_(dataset.feature_dim(), config.hidden, config.hidden,
+               /*num_layers=*/2, rng, config.dropout),
+      hop_scorer_((std::max(1, config.propagation_steps) + 1) * config.hidden,
+                  std::max(1, config.propagation_steps) + 1, rng),
+      classifier_(config.hidden, dataset.num_classes, rng),
+      dropout_(config.dropout) {
+  const SparseMatrix op = ConvolutionOperator(dataset, config.conv_r);
+  Matrix x = dataset.features;
+  hops_.push_back(ag::Constant(x));
+  for (int k = 0; k < std::max(1, config.propagation_steps); ++k) {
+    x = op.Multiply(x);
+    hops_.push_back(ag::Constant(x));
+  }
+}
+
+ag::Variable AeroGnnModel::Forward(bool training, Rng* rng) {
+  // Encode each hop, score hops per node, and take the attention-weighted
+  // sum — a decoupled approximation of AERO-GNN's deep attention.
+  std::vector<ag::Variable> encoded;
+  encoded.reserve(hops_.size());
+  for (const ag::Variable& hop : hops_) {
+    encoded.push_back(encoder_.Forward(hop, training, rng));
+  }
+  ag::Variable stacked = ag::ConcatCols(encoded);
+  ag::Variable scores = ag::SoftmaxRows(hop_scorer_.Forward(stacked));
+  ag::Variable combined;
+  for (size_t k = 0; k < encoded.size(); ++k) {
+    ag::Variable weighted = ag::ScaleRows(
+        encoded[k], ag::SliceCols(scores, static_cast<int64_t>(k),
+                                  static_cast<int64_t>(k) + 1));
+    combined = k == 0 ? weighted : ag::Add(combined, weighted);
+  }
+  combined = ag::Dropout(ag::Relu(combined), dropout_, training, rng);
+  return classifier_.Forward(combined);
+}
+
+std::vector<ag::Variable> AeroGnnModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& p : encoder_.Parameters()) params.push_back(p);
+  for (const auto& p : hop_scorer_.Parameters()) params.push_back(p);
+  for (const auto& p : classifier_.Parameters()) params.push_back(p);
+  return params;
+}
+
+// ---------------------------------------------------------------- GPRGNN --
+
+GprGnnModel::GprGnnModel(const Dataset& dataset, const ModelConfig& config,
+                         Rng* rng)
+    : features_(ag::Constant(dataset.features)),
+      op_(ConvolutionOperator(dataset, config.conv_r)),
+      encoder_(dataset.feature_dim(), config.hidden, dataset.num_classes,
+               /*num_layers=*/2, rng, config.dropout),
+      steps_(std::max(1, config.propagation_steps)),
+      dropout_(config.dropout) {
+  // PPR-style initialization γ_k = α(1-α)^k keeps early training close to
+  // APPNP, per the original paper.
+  const float alpha = config.alpha;
+  for (int k = 0; k <= steps_; ++k) {
+    Matrix g(1, 1);
+    g.At(0, 0) = alpha * std::pow(1.0f - alpha, static_cast<float>(k));
+    gammas_.push_back(ag::Parameter(std::move(g)));
+  }
+}
+
+ag::Variable GprGnnModel::Forward(bool training, Rng* rng) {
+  ag::Variable h = encoder_.Forward(features_, training, rng);
+  ag::Variable z = ag::ScaleScalar(h, gammas_[0]);
+  for (int k = 1; k <= steps_; ++k) {
+    h = ag::SpMM(op_, h);
+    z = ag::Add(z, ag::ScaleScalar(h, gammas_[k]));
+  }
+  return z;
+}
+
+std::vector<ag::Variable> GprGnnModel::Parameters() const {
+  std::vector<ag::Variable> params = encoder_.Parameters();
+  for (const auto& g : gammas_) params.push_back(g);
+  return params;
+}
+
+// --------------------------------------------------------------- BernNet --
+
+BernNetModel::BernNetModel(const Dataset& dataset, const ModelConfig& config,
+                           Rng* rng)
+    : features_(ag::Constant(dataset.features)),
+      encoder_(dataset.feature_dim(), config.hidden, dataset.num_classes,
+               /*num_layers=*/2, rng, config.dropout),
+      degree_(std::max(1, config.propagation_steps)),
+      dropout_(config.dropout) {
+  const SparseMatrix conv = ConvolutionOperator(dataset, 0.5);
+  const SparseMatrix identity = SparseMatrix::Identity(dataset.num_nodes());
+  // L = I - Ã; 2I - L = I + Ã.
+  SparseMatrix neg = conv;
+  neg.ScaleInPlace(-1.0f);
+  laplacian_ = identity.AddSparse(neg);
+  two_i_minus_l_ = identity.AddSparse(conv);
+  for (int k = 0; k <= degree_; ++k) {
+    thetas_.push_back(ag::Parameter(Matrix(1, 1, 1.0f)));
+  }
+}
+
+ag::Variable BernNetModel::Forward(bool training, Rng* rng) {
+  ag::Variable h0 = encoder_.Forward(features_, training, rng);
+  const int big_k = degree_;
+  // Bernstein basis: B_k = C(K,k)/2^K (2I-L)^{K-k} L^k applied to h0.
+  // First the L^k ladder, then each term finished with (2I-L) powers.
+  std::vector<ag::Variable> l_powers = {h0};
+  for (int k = 1; k <= big_k; ++k) {
+    l_powers.push_back(ag::SpMM(laplacian_, l_powers.back()));
+  }
+  ag::Variable out;
+  double binom = 1.0;
+  const double scale = std::pow(0.5, big_k);
+  for (int k = 0; k <= big_k; ++k) {
+    ag::Variable term = l_powers[k];
+    for (int j = 0; j < big_k - k; ++j) {
+      term = ag::SpMM(two_i_minus_l_, term);
+    }
+    term = ag::Scale(term, static_cast<float>(binom * scale));
+    term = ag::ScaleScalar(term, thetas_[k]);
+    out = k == 0 ? term : ag::Add(out, term);
+    binom = binom * static_cast<double>(big_k - k) /
+            static_cast<double>(k + 1);
+  }
+  return out;
+}
+
+std::vector<ag::Variable> BernNetModel::Parameters() const {
+  std::vector<ag::Variable> params = encoder_.Parameters();
+  for (const auto& t : thetas_) params.push_back(t);
+  return params;
+}
+
+// ------------------------------------------------------------ JacobiConv --
+
+JacobiConvModel::JacobiConvModel(const Dataset& dataset,
+                                 const ModelConfig& config, Rng* rng)
+    : features_(ag::Constant(dataset.features)),
+      op_(ConvolutionOperator(dataset, 0.5)),
+      transform_(dataset.feature_dim(), dataset.num_classes, rng),
+      degree_(std::max(1, config.propagation_steps)),
+      dropout_(config.dropout) {
+  for (int k = 0; k <= degree_; ++k) {
+    Matrix a(1, 1);
+    a.At(0, 0) = k == 0 ? 1.0f : 0.5f;
+    alphas_.push_back(ag::Parameter(std::move(a)));
+  }
+}
+
+ag::Variable JacobiConvModel::Forward(bool training, Rng* rng) {
+  ag::Variable h0 = ag::Dropout(features_, dropout_, training, rng);
+  h0 = transform_.Forward(h0);
+  // Legendre (Jacobi a=b=0) three-term recurrence on the operator Ã:
+  //   P₀ = h, P₁ = Ã h, k·P_k = (2k-1)·Ã·P_{k-1} - (k-1)·P_{k-2}.
+  ag::Variable prev2 = h0;
+  ag::Variable out = ag::ScaleScalar(prev2, alphas_[0]);
+  if (degree_ >= 1) {
+    ag::Variable prev1 = ag::SpMM(op_, h0);
+    out = ag::Add(out, ag::ScaleScalar(prev1, alphas_[1]));
+    for (int k = 2; k <= degree_; ++k) {
+      const float a = (2.0f * k - 1.0f) / static_cast<float>(k);
+      const float b = (k - 1.0f) / static_cast<float>(k);
+      ag::Variable next = ag::Sub(ag::Scale(ag::SpMM(op_, prev1), a),
+                                  ag::Scale(prev2, b));
+      out = ag::Add(out, ag::ScaleScalar(next, alphas_[k]));
+      prev2 = prev1;
+      prev1 = next;
+    }
+  }
+  return out;
+}
+
+std::vector<ag::Variable> JacobiConvModel::Parameters() const {
+  std::vector<ag::Variable> params = transform_.Parameters();
+  for (const auto& a : alphas_) params.push_back(a);
+  return params;
+}
+
+}  // namespace adpa

@@ -1,0 +1,490 @@
+#include "src/tensor/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/core/logging.h"
+#include "src/core/random.h"
+
+namespace adpa {
+namespace ag {
+
+namespace {
+
+std::shared_ptr<Node> MakeLeaf(Matrix value, bool requires_grad) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  return node;
+}
+
+std::shared_ptr<Node> MakeOp(Matrix value,
+                             std::vector<std::shared_ptr<Node>> parents,
+                             std::function<void(const Matrix&)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  node->requires_grad = false;
+  for (const auto& parent : node->parents) {
+    node->requires_grad = node->requires_grad || parent->requires_grad;
+  }
+  if (node->requires_grad) node->backward = std::move(backward);
+  return node;
+}
+
+}  // namespace
+
+void Node::AccumulateGrad(const Matrix& delta) {
+  if (grad.empty()) grad = Matrix(value.rows(), value.cols());
+  grad.AddInPlace(delta);
+}
+
+void Variable::ZeroGrad() {
+  if (node_ != nullptr) node_->grad = Matrix();
+}
+
+Variable Parameter(Matrix value) {
+  return Variable(MakeLeaf(std::move(value), /*requires_grad=*/true));
+}
+
+Variable Constant(Matrix value) {
+  return Variable(MakeLeaf(std::move(value), /*requires_grad=*/false));
+}
+
+Variable Add(const Variable& a, const Variable& b) {
+  ADPA_CHECK(a.value().SameShape(b.value()));
+  auto pa = a.node();
+  auto pb = b.node();
+  return Variable(MakeOp(adpa::Add(a.value(), b.value()), {pa, pb},
+                         [pa, pb](const Matrix& g) {
+                           if (pa->requires_grad) pa->AccumulateGrad(g);
+                           if (pb->requires_grad) pb->AccumulateGrad(g);
+                         }));
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  ADPA_CHECK(a.value().SameShape(b.value()));
+  auto pa = a.node();
+  auto pb = b.node();
+  return Variable(MakeOp(adpa::Sub(a.value(), b.value()), {pa, pb},
+                         [pa, pb](const Matrix& g) {
+                           if (pa->requires_grad) pa->AccumulateGrad(g);
+                           if (pb->requires_grad) {
+                             Matrix neg = g;
+                             neg.ScaleInPlace(-1.0f);
+                             pb->AccumulateGrad(neg);
+                           }
+                         }));
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  ADPA_CHECK(a.value().SameShape(b.value()));
+  auto pa = a.node();
+  auto pb = b.node();
+  return Variable(MakeOp(Hadamard(a.value(), b.value()), {pa, pb},
+                         [pa, pb](const Matrix& g) {
+                           if (pa->requires_grad) {
+                             pa->AccumulateGrad(Hadamard(g, pb->value));
+                           }
+                           if (pb->requires_grad) {
+                             pb->AccumulateGrad(Hadamard(g, pa->value));
+                           }
+                         }));
+}
+
+Variable Scale(const Variable& a, float factor) {
+  auto pa = a.node();
+  return Variable(MakeOp(adpa::Scale(a.value(), factor), {pa},
+                         [pa, factor](const Matrix& g) {
+                           if (pa->requires_grad) {
+                             pa->AccumulateGrad(adpa::Scale(g, factor));
+                           }
+                         }));
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  auto pa = a.node();
+  auto pb = b.node();
+  return Variable(MakeOp(
+      adpa::MatMul(a.value(), b.value()), {pa, pb}, [pa, pb](const Matrix& g) {
+        if (pa->requires_grad) {
+          pa->AccumulateGrad(MatMulTransposeB(g, pb->value));  // g @ bᵀ
+        }
+        if (pb->requires_grad) {
+          pb->AccumulateGrad(MatMulTransposeA(pa->value, g));  // aᵀ @ g
+        }
+      }));
+}
+
+Variable MatMulTransposeA(const Variable& a, const Variable& b) {
+  auto pa = a.node();
+  auto pb = b.node();
+  return Variable(MakeOp(adpa::MatMulTransposeA(a.value(), b.value()),
+                         {pa, pb}, [pa, pb](const Matrix& g) {
+                           if (pa->requires_grad) {
+                             // d(aᵀb)/da: b @ gᵀ.
+                             pa->AccumulateGrad(
+                                 adpa::MatMulTransposeB(pb->value, g));
+                           }
+                           if (pb->requires_grad) {
+                             // d(aᵀb)/db: a @ g.
+                             pb->AccumulateGrad(adpa::MatMul(pa->value, g));
+                           }
+                         }));
+}
+
+Variable AddBias(const Variable& a, const Variable& bias) {
+  ADPA_CHECK_EQ(bias.rows(), 1);
+  ADPA_CHECK_EQ(bias.cols(), a.cols());
+  auto pa = a.node();
+  auto pbias = bias.node();
+  return Variable(MakeOp(AddRowBroadcast(a.value(), bias.value()), {pa, pbias},
+                         [pa, pbias](const Matrix& g) {
+                           if (pa->requires_grad) pa->AccumulateGrad(g);
+                           if (pbias->requires_grad) {
+                             Matrix col_sums(1, g.cols());
+                             for (int64_t r = 0; r < g.rows(); ++r) {
+                               for (int64_t c = 0; c < g.cols(); ++c) {
+                                 col_sums.At(0, c) += g.At(r, c);
+                               }
+                             }
+                             pbias->AccumulateGrad(col_sums);
+                           }
+                         }));
+}
+
+Variable SpMM(const SparseMatrix& a, const Variable& x) {
+  auto px = x.node();
+  // The sparse operator is captured by value; CSR vectors are shared via
+  // copy-on-write-free vectors, and operators are long-lived in practice.
+  return Variable(MakeOp(a.Multiply(x.value()), {px},
+                         [a, px](const Matrix& g) {
+                           if (px->requires_grad) {
+                             px->AccumulateGrad(a.MultiplyTransposed(g));
+                           }
+                         }));
+}
+
+Variable Relu(const Variable& a) {
+  auto pa = a.node();
+  Matrix out = a.value();
+  out.Apply([](float v) { return v > 0.0f ? v : 0.0f; });
+  return Variable(MakeOp(std::move(out), {pa}, [pa](const Matrix& g) {
+    if (!pa->requires_grad) return;
+    Matrix masked = g;
+    for (int64_t i = 0; i < masked.size(); ++i) {
+      if (pa->value.data()[i] <= 0.0f) masked.data()[i] = 0.0f;
+    }
+    pa->AccumulateGrad(masked);
+  }));
+}
+
+Variable LeakyRelu(const Variable& a, float negative_slope) {
+  auto pa = a.node();
+  Matrix out = a.value();
+  out.Apply([negative_slope](float v) {
+    return v > 0.0f ? v : negative_slope * v;
+  });
+  return Variable(
+      MakeOp(std::move(out), {pa}, [pa, negative_slope](const Matrix& g) {
+        if (!pa->requires_grad) return;
+        Matrix masked = g;
+        for (int64_t i = 0; i < masked.size(); ++i) {
+          if (pa->value.data()[i] <= 0.0f) masked.data()[i] *= negative_slope;
+        }
+        pa->AccumulateGrad(masked);
+      }));
+}
+
+Variable Sigmoid(const Variable& a) {
+  auto pa = a.node();
+  Matrix out = a.value();
+  out.Apply([](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  Matrix saved = out;  // σ(x), reused in the backward pass
+  return Variable(
+      MakeOp(std::move(out), {pa}, [pa, saved](const Matrix& g) {
+        if (!pa->requires_grad) return;
+        Matrix dx = g;
+        for (int64_t i = 0; i < dx.size(); ++i) {
+          const float s = saved.data()[i];
+          dx.data()[i] *= s * (1.0f - s);
+        }
+        pa->AccumulateGrad(dx);
+      }));
+}
+
+Variable Tanh(const Variable& a) {
+  auto pa = a.node();
+  Matrix out = a.value();
+  out.Apply([](float v) { return std::tanh(v); });
+  Matrix saved = out;
+  return Variable(MakeOp(std::move(out), {pa}, [pa, saved](const Matrix& g) {
+    if (!pa->requires_grad) return;
+    Matrix dx = g;
+    for (int64_t i = 0; i < dx.size(); ++i) {
+      const float t = saved.data()[i];
+      dx.data()[i] *= 1.0f - t * t;
+    }
+    pa->AccumulateGrad(dx);
+  }));
+}
+
+Variable Dropout(const Variable& a, float p, bool training, Rng* rng) {
+  ADPA_CHECK_GE(p, 0.0f);
+  ADPA_CHECK_LT(p, 1.0f);
+  if (!training || p == 0.0f) return a;
+  ADPA_CHECK(rng != nullptr);
+  auto pa = a.node();
+  const float keep_scale = 1.0f / (1.0f - p);
+  Matrix mask(a.rows(), a.cols());
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask.data()[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
+  }
+  return Variable(MakeOp(Hadamard(a.value(), mask), {pa},
+                         [pa, mask](const Matrix& g) {
+                           if (pa->requires_grad) {
+                             pa->AccumulateGrad(Hadamard(g, mask));
+                           }
+                         }));
+}
+
+Variable ConcatCols(const std::vector<Variable>& parts) {
+  ADPA_CHECK(!parts.empty());
+  std::vector<Matrix> values;
+  std::vector<std::shared_ptr<Node>> parents;
+  values.reserve(parts.size());
+  parents.reserve(parts.size());
+  for (const Variable& part : parts) {
+    values.push_back(part.value());
+    parents.push_back(part.node());
+  }
+  std::vector<int64_t> offsets(parts.size() + 1, 0);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    offsets[i + 1] = offsets[i] + parts[i].cols();
+  }
+  auto captured_parents = parents;
+  return Variable(MakeOp(
+      adpa::ConcatCols(values), parents,
+      [captured_parents, offsets](const Matrix& g) {
+        for (size_t i = 0; i < captured_parents.size(); ++i) {
+          const auto& parent = captured_parents[i];
+          if (!parent->requires_grad) continue;
+          Matrix slice(g.rows(), offsets[i + 1] - offsets[i]);
+          for (int64_t r = 0; r < g.rows(); ++r) {
+            std::copy(g.Row(r) + offsets[i], g.Row(r) + offsets[i + 1],
+                      slice.Row(r));
+          }
+          parent->AccumulateGrad(slice);
+        }
+      }));
+}
+
+Variable SliceCols(const Variable& a, int64_t begin, int64_t end) {
+  ADPA_CHECK_GE(begin, 0);
+  ADPA_CHECK_LE(begin, end);
+  ADPA_CHECK_LE(end, a.cols());
+  auto pa = a.node();
+  Matrix out(a.rows(), end - begin);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    std::copy(a.value().Row(r) + begin, a.value().Row(r) + end, out.Row(r));
+  }
+  return Variable(
+      MakeOp(std::move(out), {pa}, [pa, begin, end](const Matrix& g) {
+        if (!pa->requires_grad) return;
+        Matrix expanded(pa->value.rows(), pa->value.cols());
+        for (int64_t r = 0; r < g.rows(); ++r) {
+          std::copy(g.Row(r), g.Row(r) + (end - begin),
+                    expanded.Row(r) + begin);
+        }
+        pa->AccumulateGrad(expanded);
+      }));
+}
+
+Variable ScaleRows(const Variable& a, const Variable& scales) {
+  ADPA_CHECK_EQ(scales.cols(), 1);
+  ADPA_CHECK_EQ(scales.rows(), a.rows());
+  auto pa = a.node();
+  auto ps = scales.node();
+  Matrix out = a.value();
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    const float s = scales.value().At(r, 0);
+    float* row = out.Row(r);
+    for (int64_t c = 0; c < out.cols(); ++c) row[c] *= s;
+  }
+  return Variable(MakeOp(std::move(out), {pa, ps}, [pa, ps](const Matrix& g) {
+    if (pa->requires_grad) {
+      Matrix da = g;
+      for (int64_t r = 0; r < da.rows(); ++r) {
+        const float s = ps->value.At(r, 0);
+        float* row = da.Row(r);
+        for (int64_t c = 0; c < da.cols(); ++c) row[c] *= s;
+      }
+      pa->AccumulateGrad(da);
+    }
+    if (ps->requires_grad) {
+      Matrix ds(g.rows(), 1);
+      for (int64_t r = 0; r < g.rows(); ++r) {
+        double acc = 0.0;
+        const float* g_row = g.Row(r);
+        const float* a_row = pa->value.Row(r);
+        for (int64_t c = 0; c < g.cols(); ++c) acc += g_row[c] * a_row[c];
+        ds.At(r, 0) = static_cast<float>(acc);
+      }
+      ps->AccumulateGrad(ds);
+    }
+  }));
+}
+
+Variable ScaleScalar(const Variable& a, const Variable& s) {
+  ADPA_CHECK_EQ(s.rows(), 1);
+  ADPA_CHECK_EQ(s.cols(), 1);
+  auto pa = a.node();
+  auto ps = s.node();
+  return Variable(MakeOp(adpa::Scale(a.value(), s.value().At(0, 0)), {pa, ps},
+                         [pa, ps](const Matrix& g) {
+                           if (pa->requires_grad) {
+                             pa->AccumulateGrad(
+                                 adpa::Scale(g, ps->value.At(0, 0)));
+                           }
+                           if (ps->requires_grad) {
+                             Matrix ds(1, 1);
+                             double acc = 0.0;
+                             for (int64_t i = 0; i < g.size(); ++i) {
+                               acc += static_cast<double>(g.data()[i]) *
+                                      pa->value.data()[i];
+                             }
+                             ds.At(0, 0) = static_cast<float>(acc);
+                             ps->AccumulateGrad(ds);
+                           }
+                         }));
+}
+
+Variable SoftmaxRows(const Variable& a) {
+  auto pa = a.node();
+  Matrix out = adpa::SoftmaxRows(a.value());
+  Matrix saved = out;
+  return Variable(MakeOp(std::move(out), {pa}, [pa, saved](const Matrix& g) {
+    if (!pa->requires_grad) return;
+    // dL/dx_j = s_j * (g_j - Σ_k g_k s_k), per row.
+    Matrix dx(g.rows(), g.cols());
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      const float* s = saved.Row(r);
+      const float* g_row = g.Row(r);
+      double dot = 0.0;
+      for (int64_t c = 0; c < g.cols(); ++c) dot += g_row[c] * s[c];
+      float* dx_row = dx.Row(r);
+      for (int64_t c = 0; c < g.cols(); ++c) {
+        dx_row[c] = s[c] * (g_row[c] - static_cast<float>(dot));
+      }
+    }
+    pa->AccumulateGrad(dx);
+  }));
+}
+
+Variable LogSoftmaxRows(const Variable& a) {
+  auto pa = a.node();
+  Matrix softmax = adpa::SoftmaxRows(a.value());
+  Matrix out(a.rows(), a.cols());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::log(std::max(softmax.data()[i], 1e-30f));
+  }
+  return Variable(
+      MakeOp(std::move(out), {pa}, [pa, softmax](const Matrix& g) {
+        if (!pa->requires_grad) return;
+        // dL/dx_j = g_j - s_j * Σ_k g_k, per row.
+        Matrix dx(g.rows(), g.cols());
+        for (int64_t r = 0; r < g.rows(); ++r) {
+          const float* s = softmax.Row(r);
+          const float* g_row = g.Row(r);
+          double total = 0.0;
+          for (int64_t c = 0; c < g.cols(); ++c) total += g_row[c];
+          float* dx_row = dx.Row(r);
+          for (int64_t c = 0; c < g.cols(); ++c) {
+            dx_row[c] = g_row[c] - s[c] * static_cast<float>(total);
+          }
+        }
+        pa->AccumulateGrad(dx);
+      }));
+}
+
+Variable SumAll(const Variable& a) {
+  auto pa = a.node();
+  Matrix out(1, 1);
+  out.At(0, 0) = a.value().SumAll();
+  return Variable(MakeOp(std::move(out), {pa}, [pa](const Matrix& g) {
+    if (!pa->requires_grad) return;
+    Matrix ones(pa->value.rows(), pa->value.cols(), g.At(0, 0));
+    pa->AccumulateGrad(ones);
+  }));
+}
+
+Variable MaskedCrossEntropy(const Variable& logits,
+                            const std::vector<int64_t>& labels,
+                            const std::vector<int64_t>& mask_indices) {
+  ADPA_CHECK(!mask_indices.empty());
+  ADPA_CHECK_EQ(static_cast<int64_t>(labels.size()), logits.rows());
+  auto plogits = logits.node();
+  const Matrix softmax = adpa::SoftmaxRows(logits.value());
+  double loss = 0.0;
+  for (int64_t i : mask_indices) {
+    ADPA_CHECK_GE(i, 0);
+    ADPA_CHECK_LT(i, logits.rows());
+    const int64_t y = labels[i];
+    ADPA_CHECK_GE(y, 0);
+    ADPA_CHECK_LT(y, logits.cols());
+    loss -= std::log(std::max(softmax.At(i, y), 1e-30f));
+  }
+  loss /= static_cast<double>(mask_indices.size());
+  Matrix out(1, 1);
+  out.At(0, 0) = static_cast<float>(loss);
+  const float inv_count = 1.0f / static_cast<float>(mask_indices.size());
+  return Variable(MakeOp(
+      std::move(out), {plogits},
+      [plogits, softmax, labels, mask_indices, inv_count](const Matrix& g) {
+        if (!plogits->requires_grad) return;
+        const float scale = g.At(0, 0) * inv_count;
+        Matrix dx(plogits->value.rows(), plogits->value.cols());
+        for (int64_t i : mask_indices) {
+          const float* s = softmax.Row(i);
+          float* dx_row = dx.Row(i);
+          for (int64_t c = 0; c < dx.cols(); ++c) dx_row[c] = scale * s[c];
+          dx_row[labels[i]] -= scale;
+        }
+        plogits->AccumulateGrad(dx);
+      }));
+}
+
+void Backward(const Variable& root) {
+  ADPA_CHECK(root.defined());
+  ADPA_CHECK(root.requires_grad())
+      << "Backward called on a graph with no trainable parameters";
+  // Iterative post-order DFS for the topological order.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root.node().get(), 0);
+  visited.insert(root.node().get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Node* child = node->parents[next_child++].get();
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // Seed d(root)/d(root) = 1.
+  Matrix seed(root.value().rows(), root.value().cols(), 1.0f);
+  root.node()->AccumulateGrad(seed);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward && !node->grad.empty()) node->backward(node->grad);
+  }
+}
+
+}  // namespace ag
+}  // namespace adpa

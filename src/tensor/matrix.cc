@@ -1,0 +1,287 @@
+#include "src/tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/core/logging.h"
+#include "src/core/random.h"
+
+namespace adpa {
+
+Matrix::Matrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {
+  ADPA_CHECK_GE(rows, 0);
+  ADPA_CHECK_GE(cols, 0);
+}
+
+Matrix::Matrix(int64_t rows, int64_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  ADPA_CHECK_GE(rows, 0);
+  ADPA_CHECK_GE(cols, 0);
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix out(static_cast<int64_t>(rows.size()),
+             static_cast<int64_t>(rows[0].size()));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    ADPA_CHECK_EQ(rows[r].size(), rows[0].size());
+    std::copy(rows[r].begin(), rows[r].end(), out.Row(r));
+  }
+  return out;
+}
+
+Matrix Matrix::RandomNormal(int64_t rows, int64_t cols, Rng* rng, float mean,
+                            float stddev) {
+  Matrix out(rows, cols);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return out;
+}
+
+Matrix Matrix::RandomUniform(int64_t rows, int64_t cols, Rng* rng, float lo,
+                             float hi) {
+  Matrix out(rows, cols);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return out;
+}
+
+Matrix Matrix::Identity(int64_t n) {
+  Matrix out(n, n);
+  for (int64_t i = 0; i < n; ++i) out.At(i, i) = 1.0f;
+  return out;
+}
+
+float& Matrix::CheckedAt(int64_t r, int64_t c) {
+  ADPA_CHECK_GE(r, 0);
+  ADPA_CHECK_LT(r, rows_);
+  ADPA_CHECK_GE(c, 0);
+  ADPA_CHECK_LT(c, cols_);
+  return At(r, c);
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  ADPA_CHECK(SameShape(other));
+  for (int64_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::SubInPlace(const Matrix& other) {
+  ADPA_CHECK(SameShape(other));
+  for (int64_t i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::MulInPlace(const Matrix& other) {
+  ADPA_CHECK(SameShape(other));
+  for (int64_t i = 0; i < size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Matrix::ScaleInPlace(float factor) {
+  for (float& value : data_) value *= factor;
+}
+
+void Matrix::AddScaledInPlace(const Matrix& other, float factor) {
+  ADPA_CHECK(SameShape(other));
+  for (int64_t i = 0; i < size(); ++i) data_[i] += factor * other.data_[i];
+}
+
+void Matrix::Apply(const std::function<float(float)>& fn) {
+  for (float& value : data_) value = fn(value);
+}
+
+float Matrix::SumAll() const {
+  double total = 0.0;
+  for (float value : data_) total += value;
+  return static_cast<float>(total);
+}
+
+float Matrix::MaxAll() const {
+  ADPA_CHECK_GT(size(), 0);
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Matrix::FrobeniusNorm() const {
+  double total = 0.0;
+  for (float value : data_) total += static_cast<double>(value) * value;
+  return static_cast<float>(std::sqrt(total));
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::SliceRows(int64_t begin, int64_t end) const {
+  ADPA_CHECK_GE(begin, 0);
+  ADPA_CHECK_LE(begin, end);
+  ADPA_CHECK_LE(end, rows_);
+  Matrix out(end - begin, cols_);
+  std::copy(Row(begin), Row(begin) + (end - begin) * cols_, out.data());
+  return out;
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::ostringstream out;
+  out << "Matrix(" << rows_ << "x" << cols_ << ")\n";
+  const int64_t show_rows = std::min<int64_t>(rows_, max_rows);
+  const int64_t show_cols = std::min<int64_t>(cols_, max_cols);
+  for (int64_t r = 0; r < show_rows; ++r) {
+    out << " [";
+    for (int64_t c = 0; c < show_cols; ++c) {
+      if (c > 0) out << ", ";
+      out << At(r, c);
+    }
+    if (show_cols < cols_) out << ", ...";
+    out << "]\n";
+  }
+  if (show_rows < rows_) out << " ...\n";
+  return out.str();
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  ADPA_CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (int64_t i = 0; i < n; ++i) {
+    float* out_row = out.Row(i);
+    const float* a_row = a.Row(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      if (a_ip == 0.0f) continue;
+      const float* b_row = b.Row(p);
+      for (int64_t j = 0; j < m; ++j) out_row[j] += a_ip * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  ADPA_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.cols(), b.cols());
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* a_row = a.Row(i);
+    const float* b_row = b.Row(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      if (a_ip == 0.0f) continue;
+      float* out_row = out.Row(p);
+      for (int64_t j = 0; j < m; ++j) out_row[j] += a_ip * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  ADPA_CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows(), b.rows());
+  const int64_t n = a.rows(), k = a.cols(), m = b.rows();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* a_row = a.Row(i);
+    float* out_row = out.Row(i);
+    for (int64_t j = 0; j < m; ++j) {
+      const float* b_row = b.Row(j);
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out_row[j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out.AddInPlace(b);
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out.SubInPlace(b);
+  return out;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out.MulInPlace(b);
+  return out;
+}
+
+Matrix Scale(const Matrix& a, float factor) {
+  Matrix out = a;
+  out.ScaleInPlace(factor);
+  return out;
+}
+
+Matrix ConcatCols(const Matrix& a, const Matrix& b) {
+  return ConcatCols(std::vector<Matrix>{a, b});
+}
+
+Matrix ConcatCols(const std::vector<Matrix>& parts) {
+  ADPA_CHECK(!parts.empty());
+  const int64_t rows = parts[0].rows();
+  int64_t total_cols = 0;
+  for (const Matrix& part : parts) {
+    ADPA_CHECK_EQ(part.rows(), rows);
+    total_cols += part.cols();
+  }
+  Matrix out(rows, total_cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    float* dst = out.Row(r);
+    for (const Matrix& part : parts) {
+      std::copy(part.Row(r), part.Row(r) + part.cols(), dst);
+      dst += part.cols();
+    }
+  }
+  return out;
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
+  ADPA_CHECK_EQ(row.rows(), 1);
+  ADPA_CHECK_EQ(row.cols(), a.cols());
+  Matrix out = a;
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    float* out_row = out.Row(r);
+    for (int64_t c = 0; c < a.cols(); ++c) out_row[c] += row.At(0, c);
+  }
+  return out;
+}
+
+Matrix SoftmaxRows(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* in_row = a.Row(r);
+    float* out_row = out.Row(r);
+    float max_value = in_row[0];
+    for (int64_t c = 1; c < a.cols(); ++c)
+      max_value = std::max(max_value, in_row[c]);
+    double total = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      out_row[c] = std::exp(in_row[c] - max_value);
+      total += out_row[c];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (int64_t c = 0; c < a.cols(); ++c) out_row[c] *= inv;
+  }
+  return out;
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, float tolerance) {
+  if (!a.SameShape(b)) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a.data()[i] - b.data()[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace adpa

@@ -1,0 +1,125 @@
+#ifndef ADPA_TENSOR_MATRIX_H_
+#define ADPA_TENSOR_MATRIX_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace adpa {
+
+class Rng;
+
+/// Dense row-major float32 matrix. This is the single dense container used
+/// by the autograd engine, the models, and the data generators. Kernels are
+/// BLAS-free but cache-aware (ikj gemm ordering); for the graph sizes this
+/// library targets that is sufficient and keeps the build dependency-free.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(int64_t rows, int64_t cols);
+
+  /// Matrix filled with `fill`.
+  Matrix(int64_t rows, int64_t cols, float fill);
+
+  /// Builds from nested initializer data; all rows must have equal length.
+  static Matrix FromRows(const std::vector<std::vector<float>>& rows);
+
+  /// rows x cols with i.i.d. N(mean, stddev) entries.
+  static Matrix RandomNormal(int64_t rows, int64_t cols, Rng* rng,
+                             float mean = 0.0f, float stddev = 1.0f);
+
+  /// rows x cols with i.i.d. U[lo, hi) entries.
+  static Matrix RandomUniform(int64_t rows, int64_t cols, Rng* rng, float lo,
+                              float hi);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  float& At(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+  float At(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+
+  /// Bounds-checked accessor (aborts on violation); hot paths use At().
+  float& CheckedAt(int64_t r, int64_t c);
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* Row(int64_t r) { return data_.data() + r * cols_; }
+  const float* Row(int64_t r) const { return data_.data() + r * cols_; }
+
+  /// Sets every entry to `value`.
+  void Fill(float value);
+
+  /// Elementwise in-place updates.
+  void AddInPlace(const Matrix& other);
+  void SubInPlace(const Matrix& other);
+  void MulInPlace(const Matrix& other);  // Hadamard
+  void ScaleInPlace(float factor);
+  void AddScaledInPlace(const Matrix& other, float factor);  // this += f*other
+
+  /// Applies `fn` to every entry in place.
+  void Apply(const std::function<float(float)>& fn);
+
+  /// Frobenius-norm and reduction helpers.
+  float SumAll() const;
+  float MaxAll() const;
+  float FrobeniusNorm() const;
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Returns rows [begin, end) as a new matrix.
+  Matrix SliceRows(int64_t begin, int64_t end) const;
+
+  /// Human-readable rendering for debugging/tests.
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<float> data_;
+};
+
+/// out = a * b. Shapes must agree (a.cols == b.rows).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// out = aᵀ * b, computed without materializing aᵀ.
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+
+/// out = a * bᵀ, computed without materializing bᵀ.
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+
+/// Elementwise binary operations returning new matrices.
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+Matrix Scale(const Matrix& a, float factor);
+
+/// Column-wise concatenation: [a | b]. Row counts must match.
+Matrix ConcatCols(const Matrix& a, const Matrix& b);
+Matrix ConcatCols(const std::vector<Matrix>& parts);
+
+/// Broadcasts a 1 x cols row vector over every row of `a` (addition).
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row);
+
+/// Row-wise softmax.
+Matrix SoftmaxRows(const Matrix& a);
+
+/// True when all entries differ by at most `tolerance`.
+bool AllClose(const Matrix& a, const Matrix& b, float tolerance = 1e-5f);
+
+}  // namespace adpa
+
+#endif  // ADPA_TENSOR_MATRIX_H_

@@ -1,0 +1,72 @@
+#include "src/tensor/optimizer.h"
+
+#include <cmath>
+
+#include "src/core/logging.h"
+
+namespace adpa {
+
+void Optimizer::ZeroGrad() {
+  for (ag::Variable& p : parameters_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<ag::Variable> parameters, float learning_rate,
+         float weight_decay)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      weight_decay_(weight_decay) {}
+
+void Sgd::Step() {
+  for (ag::Variable& p : parameters_) {
+    if (p.grad().empty()) continue;
+    Matrix* value = p.mutable_value();
+    const Matrix& grad = p.grad();
+    for (int64_t i = 0; i < value->size(); ++i) {
+      const float g = grad.data()[i] + weight_decay_ * value->data()[i];
+      value->data()[i] -= learning_rate_ * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<ag::Variable> parameters, float learning_rate,
+           float weight_decay, float beta1, float beta2, float epsilon)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      weight_decay_(weight_decay),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  first_moment_.reserve(parameters_.size());
+  second_moment_.reserve(parameters_.size());
+  for (const ag::Variable& p : parameters_) {
+    first_moment_.emplace_back(p.value().rows(), p.value().cols());
+    second_moment_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t k = 0; k < parameters_.size(); ++k) {
+    ag::Variable& p = parameters_[k];
+    if (p.grad().empty()) continue;
+    Matrix* value = p.mutable_value();
+    const Matrix& grad = p.grad();
+    Matrix& m = first_moment_[k];
+    Matrix& v = second_moment_[k];
+    for (int64_t i = 0; i < value->size(); ++i) {
+      const float g = grad.data()[i] + weight_decay_ * value->data()[i];
+      m.data()[i] = beta1_ * m.data()[i] + (1.0f - beta1_) * g;
+      v.data()[i] = beta2_ * v.data()[i] + (1.0f - beta2_) * g * g;
+      const float m_hat = m.data()[i] / bias1;
+      const float v_hat = v.data()[i] / bias2;
+      value->data()[i] -=
+          learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace adpa

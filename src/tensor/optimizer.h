@@ -1,0 +1,69 @@
+#ifndef ADPA_TENSOR_OPTIMIZER_H_
+#define ADPA_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/tensor/autograd.h"
+#include "src/tensor/matrix.h"
+
+namespace adpa {
+
+/// Base interface for first-order optimizers over autograd parameters.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Variable> parameters)
+      : parameters_(std::move(parameters)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients accumulated on the parameters.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  const std::vector<ag::Variable>& parameters() const { return parameters_; }
+
+ protected:
+  std::vector<ag::Variable> parameters_;
+};
+
+/// Plain SGD with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Variable> parameters, float learning_rate,
+      float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba) with decoupled-free classic L2 weight decay, matching
+/// the configuration typically used to train GNN baselines.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Variable> parameters, float learning_rate,
+       float weight_decay = 0.0f, float beta1 = 0.9f, float beta2 = 0.999f,
+       float epsilon = 1e-8f);
+
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float weight_decay_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  int64_t step_count_ = 0;
+  std::vector<Matrix> first_moment_;
+  std::vector<Matrix> second_moment_;
+};
+
+}  // namespace adpa
+
+#endif  // ADPA_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,62 @@
+#include "src/train/experiment.h"
+
+#include <cmath>
+
+#include "src/core/random.h"
+#include "src/core/strings.h"
+#include "src/models/factory.h"
+
+namespace adpa {
+
+std::string RepeatedResult::ToString() const {
+  return FormatMeanStd(mean, stddev, 1);
+}
+
+RepeatedResult Aggregate(const std::vector<double>& accuracies) {
+  RepeatedResult result;
+  if (accuracies.empty()) return result;
+  double sum = 0.0;
+  for (double acc : accuracies) {
+    result.accuracies.push_back(acc * 100.0);
+    sum += acc * 100.0;
+  }
+  result.mean = sum / static_cast<double>(accuracies.size());
+  if (accuracies.size() > 1) {
+    double sq = 0.0;
+    for (double acc : result.accuracies) {
+      sq += (acc - result.mean) * (acc - result.mean);
+    }
+    result.stddev =
+        std::sqrt(sq / static_cast<double>(accuracies.size() - 1));
+  }
+  return result;
+}
+
+Result<RepeatedResult> RunRepeated(const std::string& model_name,
+                                   const DatasetBuilder& builder,
+                                   const ModelConfig& model_config,
+                                   const TrainConfig& train_config, int runs,
+                                   bool undirect_input) {
+  if (runs <= 0) return Status::InvalidArgument("runs must be positive");
+  std::vector<double> accuracies;
+  for (int run = 0; run < runs; ++run) {
+    Result<Dataset> dataset = builder(static_cast<uint64_t>(run));
+    if (!dataset.ok()) return dataset.status();
+    Dataset input =
+        undirect_input ? dataset->WithUndirectedGraph() : std::move(*dataset);
+    Rng rng(0xC0FFEE ^ (static_cast<uint64_t>(run) * 7919));
+    Result<ModelPtr> model =
+        CreateModel(model_name, input, model_config, &rng);
+    if (!model.ok()) return model.status();
+    const TrainResult result =
+        TrainModel(model->get(), input, train_config, &rng);
+    accuracies.push_back(result.test_accuracy);
+  }
+  return Aggregate(accuracies);
+}
+
+bool ShouldUndirectInput(const std::string& model_name) {
+  return !IsDirectedModel(model_name);
+}
+
+}  // namespace adpa

@@ -1,0 +1,48 @@
+#ifndef ADPA_TRAIN_EXPERIMENT_H_
+#define ADPA_TRAIN_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/data/dataset.h"
+#include "src/models/model.h"
+#include "src/train/trainer.h"
+
+namespace adpa {
+
+/// Aggregated accuracy over repeated seeded runs (the paper reports
+/// mean ± std over 10 repeats; benches default to fewer for CPU budgets).
+struct RepeatedResult {
+  double mean = 0.0;    ///< mean test accuracy, in percent
+  double stddev = 0.0;  ///< sample standard deviation, in percent
+  std::vector<double> accuracies;  ///< per-run test accuracy, in percent
+
+  std::string ToString() const;  ///< "84.5±0.6"
+};
+
+/// Computes mean ± std (percent) from raw [0,1] accuracies.
+RepeatedResult Aggregate(const std::vector<double>& accuracies);
+
+/// Builds a fresh dataset for run `run` (so graph sampling noise is part of
+/// the variance, like re-splitting in the paper's protocol).
+using DatasetBuilder = std::function<Result<Dataset>(uint64_t run_seed)>;
+
+/// Trains `model_name` on `runs` freshly built datasets and aggregates test
+/// accuracy. `undirect_input` applies the coarse undirected transformation
+/// before training (the U- convention for undirected baselines).
+Result<RepeatedResult> RunRepeated(const std::string& model_name,
+                                   const DatasetBuilder& builder,
+                                   const ModelConfig& model_config,
+                                   const TrainConfig& train_config, int runs,
+                                   bool undirect_input);
+
+/// Standard input convention of the paper's tables: undirected baselines
+/// get U- input, directed baselines (and ADPA on directed datasets) get
+/// the natural digraph.
+bool ShouldUndirectInput(const std::string& model_name);
+
+}  // namespace adpa
+
+#endif  // ADPA_TRAIN_EXPERIMENT_H_

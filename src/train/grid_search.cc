@@ -1,0 +1,70 @@
+#include "src/train/grid_search.h"
+
+#include "src/core/random.h"
+#include "src/models/factory.h"
+
+namespace adpa {
+
+Result<GridSearchResult> GridSearch(const std::string& model_name,
+                                    const Dataset& dataset,
+                                    const ModelConfig& base_config,
+                                    const TrainConfig& train_config,
+                                    const GridSearchSpace& space,
+                                    uint64_t seed) {
+  ADPA_RETURN_IF_ERROR(dataset.Validate());
+  // Degenerate axes fall back to the base configuration's value.
+  const std::vector<float> lrs = space.learning_rates.empty()
+                                     ? std::vector<float>{0.01f}
+                                     : space.learning_rates;
+  const std::vector<float> dropouts = space.dropouts.empty()
+                                          ? std::vector<float>{base_config
+                                                                   .dropout}
+                                          : space.dropouts;
+  const std::vector<int> steps =
+      space.propagation_steps.empty()
+          ? std::vector<int>{base_config.propagation_steps}
+          : space.propagation_steps;
+  const std::vector<int> layers = space.num_layers.empty()
+                                      ? std::vector<int>{base_config
+                                                             .num_layers}
+                                      : space.num_layers;
+
+  GridSearchResult result;
+  uint64_t trial_index = 0;
+  for (float lr : lrs) {
+    for (float dropout : dropouts) {
+      for (int k : steps) {
+        for (int depth : layers) {
+          ModelConfig config = base_config;
+          config.dropout = dropout;
+          config.propagation_steps = k;
+          config.num_layers = depth;
+          TrainConfig tc = train_config;
+          tc.learning_rate = lr;
+          Rng rng(seed * 1000003 + trial_index * 7919 + 13);
+          Result<ModelPtr> model =
+              CreateModel(model_name, dataset, config, &rng);
+          if (!model.ok()) return model.status();
+          const TrainResult trained =
+              TrainModel(model->get(), dataset, tc, &rng);
+          GridTrial trial;
+          trial.model_config = config;
+          trial.learning_rate = lr;
+          trial.val_accuracy = trained.best_val_accuracy;
+          trial.test_accuracy = trained.test_accuracy;
+          result.trials.push_back(trial);
+          if (trial.val_accuracy > result.best.val_accuracy) {
+            result.best = trial;
+          }
+          ++trial_index;
+        }
+      }
+    }
+  }
+  if (result.trials.empty()) {
+    return Status::InvalidArgument("empty search space");
+  }
+  return result;
+}
+
+}  // namespace adpa

@@ -1,0 +1,71 @@
+#include "src/train/trainer.h"
+
+#include <algorithm>
+
+#include "src/core/logging.h"
+#include "src/core/random.h"
+#include "src/tensor/autograd.h"
+#include "src/tensor/optimizer.h"
+
+namespace adpa {
+
+double Accuracy(const Matrix& logits, const std::vector<int64_t>& labels,
+                const std::vector<int64_t>& indices) {
+  ADPA_CHECK(!indices.empty());
+  int64_t correct = 0;
+  for (int64_t i : indices) {
+    const float* row = logits.Row(i);
+    int64_t argmax = 0;
+    for (int64_t c = 1; c < logits.cols(); ++c) {
+      if (row[c] > row[argmax]) argmax = c;
+    }
+    correct += argmax == labels[i];
+  }
+  return static_cast<double>(correct) / static_cast<double>(indices.size());
+}
+
+TrainResult TrainModel(Model* model, const Dataset& dataset,
+                       const TrainConfig& config, Rng* rng) {
+  ADPA_CHECK(model != nullptr);
+  ADPA_CHECK(rng != nullptr);
+  ADPA_CHECK_OK(dataset.Validate());
+  ADPA_CHECK(!dataset.val_idx.empty())
+      << "TrainModel needs a validation split for model selection";
+
+  Adam optimizer(model->Parameters(), config.learning_rate,
+                 config.weight_decay);
+  TrainResult result;
+  int epochs_since_best = 0;
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    // Training step.
+    optimizer.ZeroGrad();
+    ag::Variable logits = model->Forward(/*training=*/true, rng);
+    ag::Variable loss =
+        ag::MaskedCrossEntropy(logits, dataset.labels, dataset.train_idx);
+    ag::Backward(loss);
+    optimizer.Step();
+
+    // Evaluation pass (no dropout).
+    ag::Variable eval_logits = model->Forward(/*training=*/false, rng);
+    const double val_acc =
+        Accuracy(eval_logits.value(), dataset.labels, dataset.val_idx);
+    if (config.record_curves) {
+      result.val_curve.push_back(val_acc);
+      result.train_loss_curve.push_back(loss.value().At(0, 0));
+    }
+    result.epochs_run = epoch + 1;
+    if (val_acc > result.best_val_accuracy) {
+      result.best_val_accuracy = val_acc;
+      result.best_epoch = epoch;
+      result.test_accuracy =
+          Accuracy(eval_logits.value(), dataset.labels, dataset.test_idx);
+      epochs_since_best = 0;
+    } else {
+      ++epochs_since_best;
+      if (config.patience > 0 && epochs_since_best >= config.patience) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace adpa

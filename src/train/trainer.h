@@ -1,0 +1,51 @@
+#ifndef ADPA_TRAIN_TRAINER_H_
+#define ADPA_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/models/model.h"
+#include "src/tensor/matrix.h"
+
+namespace adpa {
+
+class Rng;
+
+/// Full-batch training configuration shared by every experiment.
+struct TrainConfig {
+  int max_epochs = 200;
+  /// Early stopping: stop after `patience` epochs without a new best
+  /// validation accuracy. <= 0 disables early stopping.
+  int patience = 30;
+  float learning_rate = 0.01f;
+  float weight_decay = 5e-4f;
+  /// Record per-epoch validation accuracy / training loss (Fig. 5 curves).
+  bool record_curves = false;
+};
+
+/// Outcome of one training run. `test_accuracy` is measured at the epoch
+/// with the best validation accuracy (standard protocol).
+struct TrainResult {
+  double best_val_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  int best_epoch = 0;
+  int epochs_run = 0;
+  std::vector<double> val_curve;
+  std::vector<double> train_loss_curve;
+};
+
+/// Fraction of rows in `indices` whose argmax logit equals the label.
+double Accuracy(const Matrix& logits, const std::vector<int64_t>& labels,
+                const std::vector<int64_t>& indices);
+
+/// Trains `model` on `dataset` with Adam + masked cross-entropy, evaluating
+/// on the validation split each epoch and reporting test accuracy at the
+/// best validation epoch (the parameters themselves are left at their final
+/// state; the best-epoch test metric is captured on the fly).
+TrainResult TrainModel(Model* model, const Dataset& dataset,
+                       const TrainConfig& config, Rng* rng);
+
+}  // namespace adpa
+
+#endif  // ADPA_TRAIN_TRAINER_H_

@@ -1,0 +1,177 @@
+// Tests for the Digraph container and directed-pattern algebra.
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/graph/digraph.h"
+#include "src/graph/patterns.h"
+
+namespace adpa {
+namespace {
+
+Digraph ToyCycle() {
+  // 0 -> 1 -> 2 -> 0 plus chord 0 -> 2.
+  return Digraph::CreateOrDie(3, {{0, 1}, {1, 2}, {2, 0}, {0, 2}});
+}
+
+TEST(DigraphTest, CreateValidatesEndpoints) {
+  EXPECT_FALSE(Digraph::Create(2, {{0, 5}}).ok());
+  EXPECT_FALSE(Digraph::Create(2, {{-1, 0}}).ok());
+  EXPECT_EQ(Digraph::Create(2, {{0, 5}}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(DigraphTest, CreateRejectsSelfLoops) {
+  Result<Digraph> r = Digraph::Create(3, {{1, 1}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DigraphTest, DuplicateEdgesAreCoalesced) {
+  Digraph g = Digraph::CreateOrDie(3, {{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(DigraphTest, NeighborsAndDegrees) {
+  Digraph g = ToyCycle();
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.InDegree(0), 1);
+  EXPECT_EQ(g.OutNeighbors(0), (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(g.InNeighbors(2), (std::vector<int64_t>{0, 1}));
+}
+
+TEST(DigraphTest, HasEdgeIsDirectional) {
+  Digraph g = ToyCycle();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(DigraphTest, AdjacencyMatrixMatchesEdges) {
+  Digraph g = ToyCycle();
+  SparseMatrix a = g.AdjacencyMatrix();
+  EXPECT_EQ(a.nnz(), g.num_edges());
+  for (const Edge& e : g.edges()) {
+    EXPECT_FLOAT_EQ(a.At(e.src, e.dst), 1.0f);
+  }
+  EXPECT_FLOAT_EQ(a.At(1, 0), 0.0f);
+}
+
+TEST(DigraphTest, ToUndirectedSymmetrizes) {
+  Digraph g = ToyCycle();
+  EXPECT_FALSE(g.IsSymmetric());
+  Digraph u = g.ToUndirected();
+  EXPECT_TRUE(u.IsSymmetric());
+  // 4 directed edges cover 3 distinct node pairs -> 6 symmetric arcs.
+  EXPECT_EQ(u.num_edges(), 6);
+  EXPECT_TRUE(u.HasEdge(1, 0));
+}
+
+TEST(DigraphTest, ReciprocityRatio) {
+  Digraph one_way = Digraph::CreateOrDie(3, {{0, 1}, {1, 2}});
+  EXPECT_DOUBLE_EQ(one_way.ReciprocityRatio(), 0.0);
+  Digraph mixed = Digraph::CreateOrDie(3, {{0, 1}, {1, 0}, {1, 2}});
+  EXPECT_NEAR(mixed.ReciprocityRatio(), 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(one_way.ToUndirected().ReciprocityRatio(), 1.0);
+}
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph g = Digraph::CreateOrDie(5, {});
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.IsSymmetric());
+  EXPECT_EQ(g.AdjacencyMatrix().nnz(), 0);
+}
+
+// ------------------------------------------------------------- Patterns --
+
+TEST(PatternTest, NameFormatting) {
+  EXPECT_EQ((DirectedPattern{{Hop::kOut}}).Name(), "A");
+  EXPECT_EQ((DirectedPattern{{Hop::kIn}}).Name(), "AT");
+  EXPECT_EQ((DirectedPattern{{Hop::kOut, Hop::kIn}}).Name(), "A*AT");
+}
+
+TEST(PatternTest, EnumerationSizesFollowPaperRule) {
+  // k = 2^1 + ... + 2^N (Sec. IV-B).
+  EXPECT_EQ(EnumeratePatterns(1).size(), 2u);
+  EXPECT_EQ(EnumeratePatterns(2).size(), 6u);
+  EXPECT_EQ(EnumeratePatterns(3).size(), 14u);
+  EXPECT_EQ(EnumeratePatterns(4).size(), 30u);
+}
+
+TEST(PatternTest, EnumerationIsShortestFirstAndDistinct) {
+  const auto patterns = EnumeratePatterns(3);
+  for (size_t i = 1; i < patterns.size(); ++i) {
+    EXPECT_LE(patterns[i - 1].order(), patterns[i].order());
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_FALSE(patterns[i] == patterns[j]);
+    }
+  }
+}
+
+TEST(PatternTest, SecondOrderPatternsAreTheFourProducts) {
+  const auto patterns = SecondOrderPatterns();
+  ASSERT_EQ(patterns.size(), 4u);
+  EXPECT_EQ(patterns[0].Name(), "A*A");
+  EXPECT_EQ(patterns[1].Name(), "AT*AT");
+  EXPECT_EQ(patterns[2].Name(), "A*AT");
+  EXPECT_EQ(patterns[3].Name(), "AT*A");
+}
+
+TEST(PatternTest, ApplyMatchesDenseOperatorProduct) {
+  Digraph g = ToyCycle();
+  PatternSet patterns(g.AdjacencyMatrix(), /*conv_r=*/0.5,
+                      /*self_loops=*/true);
+  Rng rng(1);
+  Matrix x = Matrix::RandomNormal(3, 4, &rng);
+  const Matrix a = patterns.normalized_out().ToDense();
+  const Matrix at = patterns.normalized_in().ToDense();
+  // A*AT word applied to x must equal (A @ Aᵀnorm) @ x.
+  DirectedPattern p{{Hop::kOut, Hop::kIn}};
+  EXPECT_TRUE(
+      AllClose(patterns.Apply(p, x), MatMul(a, MatMul(at, x)), 1e-4f));
+  // AT*A word: (ATnorm @ Anorm) @ x.
+  DirectedPattern q{{Hop::kIn, Hop::kOut}};
+  EXPECT_TRUE(
+      AllClose(patterns.Apply(q, x), MatMul(at, MatMul(a, x)), 1e-4f));
+}
+
+TEST(PatternTest, ReachabilityMatchesHandComputedToy) {
+  // Fig. 3-style: 0 -> 1, 2 -> 1 (co-target through node 1).
+  Digraph g = Digraph::CreateOrDie(3, {{0, 1}, {2, 1}});
+  PatternSet patterns(g.AdjacencyMatrix(), 0.5, false);
+  // A*AT: u and v reachable iff they share an out-neighbor.
+  SparseMatrix aat =
+      patterns.Reachability(DirectedPattern{{Hop::kOut, Hop::kIn}});
+  EXPECT_FLOAT_EQ(aat.At(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(aat.At(2, 0), 1.0f);
+  EXPECT_FLOAT_EQ(aat.At(0, 0), 1.0f);  // shares out-neighbor with itself
+  EXPECT_FLOAT_EQ(aat.At(0, 1), 0.0f);
+  // A*A: two-step forward walks; none exist here.
+  SparseMatrix aa =
+      patterns.Reachability(DirectedPattern{{Hop::kOut, Hop::kOut}});
+  EXPECT_EQ(aa.nnz(), 0);
+}
+
+TEST(PatternTest, ReachabilityOnCycleWrapsAround) {
+  // 0 -> 1 -> 2 -> 0: A*A reaches two steps ahead.
+  Digraph g = Digraph::CreateOrDie(3, {{0, 1}, {1, 2}, {2, 0}});
+  PatternSet patterns(g.AdjacencyMatrix(), 0.5, false);
+  SparseMatrix aa =
+      patterns.Reachability(DirectedPattern{{Hop::kOut, Hop::kOut}});
+  EXPECT_FLOAT_EQ(aa.At(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(aa.At(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(aa.At(2, 1), 1.0f);
+  EXPECT_EQ(aa.nnz(), 3);
+}
+
+TEST(PatternTest, UndirectedGraphDegeneratesGracefully) {
+  // On a symmetric graph, A and AT reachabilities coincide.
+  Digraph g = Digraph::CreateOrDie(4, {{0, 1}, {1, 0}, {1, 2}, {2, 1},
+                                       {2, 3}, {3, 2}});
+  PatternSet patterns(g.AdjacencyMatrix(), 0.5, false);
+  SparseMatrix out = patterns.Reachability(DirectedPattern{{Hop::kOut}});
+  SparseMatrix in = patterns.Reachability(DirectedPattern{{Hop::kIn}});
+  EXPECT_TRUE(AllClose(out.ToDense(), in.ToDense()));
+}
+
+}  // namespace
+}  // namespace adpa

@@ -1,0 +1,157 @@
+// Homophily-measure tests on closed-form graphs (paper Sec. II-B metrics).
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/data/generators.h"
+#include "src/metrics/homophily.h"
+
+namespace adpa {
+namespace {
+
+// Perfectly homophilous: two disjoint directed triangles with same labels.
+Digraph TwoTriangles() {
+  return Digraph::CreateOrDie(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+}
+const std::vector<int64_t> kTriangleLabels = {0, 0, 0, 1, 1, 1};
+
+// Perfectly heterophilous: directed bipartite 2x2.
+Digraph Bipartite() {
+  return Digraph::CreateOrDie(4, {{0, 2}, {0, 3}, {1, 2}, {1, 3}});
+}
+const std::vector<int64_t> kBipartiteLabels = {0, 0, 1, 1};
+
+TEST(HomophilyTest, EdgeHomophilyExtremes) {
+  EXPECT_DOUBLE_EQ(EdgeHomophily(TwoTriangles(), kTriangleLabels), 1.0);
+  EXPECT_DOUBLE_EQ(EdgeHomophily(Bipartite(), kBipartiteLabels), 0.0);
+}
+
+TEST(HomophilyTest, NodeHomophilyExtremes) {
+  EXPECT_DOUBLE_EQ(NodeHomophily(TwoTriangles(), kTriangleLabels), 1.0);
+  EXPECT_DOUBLE_EQ(NodeHomophily(Bipartite(), kBipartiteLabels), 0.0);
+}
+
+TEST(HomophilyTest, NodeHomophilySkipsIsolatedNodes) {
+  Digraph g = Digraph::CreateOrDie(3, {{0, 1}});
+  // Node 2 has no out-neighbors; only node 0 counts.
+  EXPECT_DOUBLE_EQ(NodeHomophily(g, {0, 0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(NodeHomophily(g, {0, 1, 1}), 0.0);
+}
+
+TEST(HomophilyTest, MixedGraphEdgeHomophily) {
+  Digraph g = Digraph::CreateOrDie(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  // Labels 0,0,1,1: edges 0->1 (same), 1->2 (diff), 2->3 (same), 3->0 (diff).
+  EXPECT_DOUBLE_EQ(EdgeHomophily(g, {0, 0, 1, 1}), 0.5);
+}
+
+TEST(HomophilyTest, ClassHomophilyPenalizesChanceLevel) {
+  // Perfect homophily: h_c = 1, n_c/n = 0.5 -> (1/(C-1)) * 2 * 0.5 = 1.
+  EXPECT_NEAR(ClassHomophily(TwoTriangles(), kTriangleLabels, 2), 1.0, 1e-9);
+  // Perfect heterophily: h_c = 0 for the only class with edges -> 0.
+  EXPECT_NEAR(ClassHomophily(Bipartite(), kBipartiteLabels, 2), 0.0, 1e-9);
+}
+
+TEST(HomophilyTest, AdjustedHomophilyExtremes) {
+  EXPECT_NEAR(AdjustedHomophily(TwoTriangles(), kTriangleLabels, 2), 1.0,
+              1e-9);
+  // Bipartite with equal degree mass: expected Σp² = 0.5, H_edge = 0
+  // -> (0 - 0.5) / 0.5 = -1 (actively heterophilous).
+  EXPECT_NEAR(AdjustedHomophily(Bipartite(), kBipartiteLabels, 2), -1.0,
+              1e-9);
+}
+
+TEST(HomophilyTest, AdjustedHomophilyNearZeroOnRandomLabels) {
+  DsbmConfig config;
+  config.num_nodes = 600;
+  config.num_classes = 3;
+  config.avg_out_degree = 8.0;
+  config.class_transition = HomophilousTransition(3, 1.0 / 3.0);  // uniform
+  config.edge_noise = 0.0;
+  config.feature_dim = 4;
+  config.seed = 42;
+  Dataset ds = std::move(GenerateDsbm(config)).value();
+  EXPECT_NEAR(AdjustedHomophily(ds.graph, ds.labels, 3), 0.0, 0.05);
+}
+
+TEST(HomophilyTest, LabelInformativenessExtremes) {
+  // Deterministic coupling (same class): LI = 1.
+  EXPECT_NEAR(LabelInformativeness(TwoTriangles(), kTriangleLabels, 2), 1.0,
+              1e-9);
+  // Deterministic cross coupling (bipartite): also LI = 1 — informative
+  // despite zero homophily. This is the metric's whole point.
+  EXPECT_NEAR(LabelInformativeness(Bipartite(), kBipartiteLabels, 2), 1.0,
+              1e-9);
+}
+
+TEST(HomophilyTest, LabelInformativenessNearZeroOnIndependentLabels) {
+  DsbmConfig config;
+  config.num_nodes = 800;
+  config.num_classes = 4;
+  config.avg_out_degree = 10.0;
+  config.class_transition = HomophilousTransition(4, 0.25);  // uniform
+  config.edge_noise = 0.0;
+  config.feature_dim = 4;
+  config.seed = 7;
+  Dataset ds = std::move(GenerateDsbm(config)).value();
+  EXPECT_NEAR(LabelInformativeness(ds.graph, ds.labels, 4), 0.0, 0.02);
+}
+
+TEST(HomophilyTest, DirectedVsUndirectedDifference) {
+  // A cyclic class-progression graph: undirected transformation keeps edge
+  // homophily identical (every edge stays cross-class).
+  DsbmConfig config;
+  config.num_nodes = 500;
+  config.num_classes = 5;
+  config.avg_out_degree = 6.0;
+  config.class_transition = CyclicTransition(5, 0.9, 0.0);
+  config.edge_noise = 0.0;
+  config.feature_dim = 4;
+  config.seed = 3;
+  Dataset ds = std::move(GenerateDsbm(config)).value();
+  const double directed = EdgeHomophily(ds.graph, ds.labels);
+  const double undirected =
+      EdgeHomophily(ds.graph.ToUndirected(), ds.labels);
+  EXPECT_LT(directed, 0.1);
+  EXPECT_NEAR(directed, undirected, 0.02);
+}
+
+TEST(HomophilyTest, ReportBundlesAllFiveMeasures) {
+  const HomophilyReport report =
+      ComputeHomophilyReport(TwoTriangles(), kTriangleLabels, 2);
+  EXPECT_DOUBLE_EQ(report.node, 1.0);
+  EXPECT_DOUBLE_EQ(report.edge, 1.0);
+  EXPECT_NEAR(report.cls, 1.0, 1e-9);
+  EXPECT_NEAR(report.adjusted, 1.0, 1e-9);
+  EXPECT_NEAR(report.li, 1.0, 1e-9);
+}
+
+TEST(HomophilyTest, EmptyEdgeSetIsZero) {
+  Digraph g = Digraph::CreateOrDie(4, {});
+  EXPECT_DOUBLE_EQ(EdgeHomophily(g, {0, 1, 0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(LabelInformativeness(g, {0, 1, 0, 1}, 2), 0.0);
+}
+
+// Homophilous transitions must produce monotonically increasing edge
+// homophily in the in-class probability.
+class HomophilySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HomophilySweep, EdgeHomophilyTracksInClassProbability) {
+  const double p = GetParam();
+  DsbmConfig config;
+  config.num_nodes = 800;
+  config.num_classes = 4;
+  config.avg_out_degree = 8.0;
+  config.class_transition = HomophilousTransition(4, p);
+  config.edge_noise = 0.0;
+  config.feature_dim = 4;
+  config.seed = 11;
+  Dataset ds = std::move(GenerateDsbm(config)).value();
+  EXPECT_NEAR(EdgeHomophily(ds.graph, ds.labels), p, 0.04);
+}
+
+INSTANTIATE_TEST_SUITE_P(InClassProbabilities, HomophilySweep,
+                         ::testing::Values(0.25, 0.4, 0.6, 0.8, 0.95));
+
+}  // namespace
+}  // namespace adpa

@@ -1,0 +1,179 @@
+// End-to-end pipeline tests reproducing the paper's core qualitative
+// claims on small instances: AMUD guidance is actionable, directed modeling
+// matters exactly when AMUD says it does, and ADPA's attention earns its
+// keep. These are the repo's "does the science hold together" checks.
+
+#include <gtest/gtest.h>
+
+#include "src/amud/amud.h"
+#include "src/core/random.h"
+#include "src/data/benchmarks.h"
+#include "src/data/generators.h"
+#include "src/data/splits.h"
+#include "src/models/adpa.h"
+#include "src/models/factory.h"
+#include "src/train/trainer.h"
+
+namespace adpa {
+namespace {
+
+Dataset WithSplits(Dataset ds, uint64_t seed) {
+  Rng rng(seed);
+  Split split = std::move(
+      SplitFractions(ds.labels, ds.num_classes, 0.48, 0.32, &rng)).value();
+  ds.train_idx = split.train;
+  ds.val_idx = split.val;
+  ds.test_idx = split.test;
+  return ds;
+}
+
+Dataset DirectedHeterophilousTask(uint64_t seed) {
+  DsbmConfig config;
+  config.num_nodes = 400;
+  config.num_classes = 5;
+  config.avg_out_degree = 6.0;
+  config.class_transition = CyclicTransition(5, 0.8, 0.05);
+  config.edge_noise = 0.05;
+  config.feature_dim = 24;
+  config.feature_noise = 3.0;  // features alone are weak
+  config.seed = seed;
+  return WithSplits(std::move(GenerateDsbm(config)).value(), seed + 1);
+}
+
+Dataset HomophilousTask(uint64_t seed) {
+  DsbmConfig config;
+  config.num_nodes = 400;
+  config.num_classes = 5;
+  config.avg_out_degree = 6.0;
+  config.class_transition = HomophilousTransition(5, 0.8);
+  config.reciprocal_prob = 0.8;
+  config.feature_dim = 24;
+  config.feature_noise = 3.0;
+  config.seed = seed;
+  return WithSplits(std::move(GenerateDsbm(config)).value(), seed + 1);
+}
+
+double TrainOnce(const std::string& model_name, const Dataset& ds,
+                 uint64_t seed, int epochs = 80) {
+  Rng rng(seed);
+  ModelConfig mc;
+  mc.hidden = 32;
+  ModelPtr model = std::move(CreateModel(model_name, ds, mc, &rng)).value();
+  TrainConfig tc;
+  tc.max_epochs = epochs;
+  tc.patience = 20;
+  return TrainModel(model.get(), ds, tc, &rng).test_accuracy;
+}
+
+TEST(IntegrationTest, FullPipelineQuickstart) {
+  // The README pipeline: generate -> AMUD -> model choice -> train.
+  Dataset ds = DirectedHeterophilousTask(1);
+  AmudReport report =
+      std::move(ComputeAmud(ds.graph, ds.labels, ds.num_classes)).value();
+  EXPECT_EQ(report.decision, AmudDecision::kDirected);
+  Dataset input = ds;  // decision says: keep directed edges
+  const double acc = TrainOnce("ADPA", input, 7);
+  EXPECT_GT(acc, 0.6);
+}
+
+TEST(IntegrationTest, C1_DirectedModelsWinOnAmDirectedData) {
+  // Paper conclusion C1 (Sec. III-A): directed GNNs have the advantage on
+  // heterophilous digraphs. Compare a representative pair across 2 seeds.
+  double directed_acc = 0.0, undirected_acc = 0.0;
+  for (uint64_t seed : {11u, 12u}) {
+    Dataset ds = DirectedHeterophilousTask(seed);
+    directed_acc += TrainOnce("DirGNN", ds, seed);
+    undirected_acc += TrainOnce("GCN", ds.WithUndirectedGraph(), seed);
+  }
+  EXPECT_GT(directed_acc, undirected_acc + 0.05);
+}
+
+TEST(IntegrationTest, C2_UndirectedAugmentationHelpsHomophily) {
+  // Paper conclusion C2: discarding direction is the right call under
+  // homophily — a directed model fed the undirected transformation should
+  // do at least as well as the same model on raw directed input.
+  double raw = 0.0, undirected = 0.0;
+  for (uint64_t seed : {21u, 22u}) {
+    Dataset ds = HomophilousTask(seed);
+    raw += TrainOnce("MagNet", ds, seed);
+    undirected += TrainOnce("MagNet", ds.WithUndirectedGraph(), seed);
+  }
+  EXPECT_GE(undirected, raw - 0.02);
+}
+
+TEST(IntegrationTest, AmudScoreSeparatesTheTwoRegimes) {
+  Dataset directed = DirectedHeterophilousTask(31);
+  Dataset homophilous = HomophilousTask(32);
+  const double s_directed =
+      std::move(ComputeAmud(directed.graph, directed.labels, 5))
+          .value()
+          .score;
+  const double s_homophilous =
+      std::move(ComputeAmud(homophilous.graph, homophilous.labels, 5))
+          .value()
+          .score;
+  EXPECT_GT(s_directed, 0.5);
+  EXPECT_LT(s_homophilous, 0.5);
+  EXPECT_GT(s_directed, s_homophilous + 0.3);
+}
+
+TEST(IntegrationTest, AdpaBeatsStructureFreeMlpWhenTopologyMatters) {
+  Dataset ds = DirectedHeterophilousTask(41);
+  const double adpa = TrainOnce("ADPA", ds, 41);
+  const double mlp = TrainOnce("MLP", ds, 41);
+  EXPECT_GT(adpa, mlp + 0.1);
+}
+
+TEST(IntegrationTest, DpAttentionAblationHurtsOnDirectedData) {
+  // Table VII's qualitative claim: removing DP attention costs accuracy.
+  Dataset ds = DirectedHeterophilousTask(51);
+  double with_attention = 0.0, without = 0.0;
+  for (uint64_t seed : {51u, 52u, 53u}) {
+    Rng rng(seed);
+    ModelConfig mc;
+    mc.hidden = 32;
+    AdpaModel full(ds, mc, &rng);
+    TrainConfig tc;
+    tc.max_epochs = 80;
+    tc.patience = 20;
+    with_attention += TrainModel(&full, ds, tc, &rng).test_accuracy;
+    Rng rng2(seed);
+    ModelConfig ablated = mc;
+    ablated.use_dp_attention = false;
+    AdpaModel cut(ds, ablated, &rng2);
+    without += TrainModel(&cut, ds, tc, &rng2).test_accuracy;
+  }
+  EXPECT_GT(with_attention, without);
+}
+
+TEST(IntegrationTest, SecondOrderPatternsBeatFirstOrderOnDirectedData) {
+  // Table VI's qualitative claim: 2-order DPs outperform 1-order.
+  Dataset ds = DirectedHeterophilousTask(61);
+  double first = 0.0, second = 0.0;
+  for (uint64_t seed : {61u, 62u}) {
+    Rng rng(seed);
+    ModelConfig mc;
+    mc.hidden = 32;
+    mc.pattern_order = 1;
+    AdpaModel k1(ds, mc, &rng);
+    TrainConfig tc;
+    tc.max_epochs = 80;
+    tc.patience = 20;
+    first += TrainModel(&k1, ds, tc, &rng).test_accuracy;
+    Rng rng2(seed);
+    mc.pattern_order = 2;
+    AdpaModel k2(ds, mc, &rng2);
+    second += TrainModel(&k2, ds, tc, &rng2).test_accuracy;
+  }
+  EXPECT_GT(second, first);
+}
+
+TEST(IntegrationTest, RegistryDatasetTrainsEndToEnd) {
+  // One full registry dataset through the whole stack at reduced scale.
+  Dataset ds = std::move(BuildBenchmarkByName("Chameleon", 0, 0.5)).value();
+  const double acc = TrainOnce("ADPA", ds, 71, /*epochs=*/60);
+  EXPECT_GT(acc, 0.4);  // chance is 0.2
+}
+
+}  // namespace
+}  // namespace adpa

@@ -1,0 +1,126 @@
+// Tests for the plain-text dataset (de)serialization.
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/data/generators.h"
+#include "src/data/io.h"
+#include "src/data/splits.h"
+
+namespace adpa {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/adpa_io_test.txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  Dataset MakeDataset(uint64_t seed = 3) {
+    DsbmConfig config;
+    config.num_nodes = 60;
+    config.num_classes = 3;
+    config.avg_out_degree = 4.0;
+    config.class_transition = HomophilousTransition(3, 0.7);
+    config.feature_dim = 5;
+    config.seed = seed;
+    Dataset ds = std::move(GenerateDsbm(config)).value();
+    ds.name = "io-test";
+    Rng rng(seed);
+    Split split =
+        std::move(SplitFractions(ds.labels, 3, 0.5, 0.25, &rng)).value();
+    ds.train_idx = split.train;
+    ds.val_idx = split.val;
+    ds.test_idx = split.test;
+    return ds;
+  }
+
+  std::string path_;
+};
+
+TEST_F(IoTest, RoundTripPreservesEverything) {
+  Dataset original = MakeDataset();
+  ASSERT_TRUE(SaveDataset(original, path_).ok());
+  Result<Dataset> loaded = LoadDataset(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name, original.name);
+  EXPECT_EQ(loaded->num_classes, original.num_classes);
+  EXPECT_EQ(loaded->graph.edges(), original.graph.edges());
+  EXPECT_EQ(loaded->labels, original.labels);
+  EXPECT_EQ(loaded->train_idx, original.train_idx);
+  EXPECT_EQ(loaded->val_idx, original.val_idx);
+  EXPECT_EQ(loaded->test_idx, original.test_idx);
+  // Floats round-trip at %.6g: tight but not bit-exact.
+  EXPECT_TRUE(AllClose(loaded->features, original.features, 1e-4f));
+}
+
+TEST_F(IoTest, LoadRejectsMissingFile) {
+  Result<Dataset> r = LoadDataset("/nonexistent/definitely/not/here.txt");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, LoadRejectsBadMagic) {
+  std::ofstream out(path_);
+  out << "not-a-dataset 1\n";
+  out.close();
+  EXPECT_FALSE(LoadDataset(path_).ok());
+}
+
+TEST_F(IoTest, LoadRejectsTruncatedEdges) {
+  Dataset ds = MakeDataset();
+  ASSERT_TRUE(SaveDataset(ds, path_).ok());
+  // Truncate the file in the middle of the edge list.
+  std::ifstream in(path_);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_);
+  out << contents.substr(0, contents.size() / 3);
+  out.close();
+  EXPECT_FALSE(LoadDataset(path_).ok());
+}
+
+TEST_F(IoTest, SaveRejectsInvalidDataset) {
+  Dataset ds = MakeDataset();
+  ds.labels[0] = 99;  // out of range
+  EXPECT_FALSE(SaveDataset(ds, path_).ok());
+}
+
+TEST_F(IoTest, LoadValidatesSemantics) {
+  // Well-formed syntax but overlapping splits must be rejected.
+  std::ofstream out(path_);
+  out << "adpa-dataset 1\n"
+      << "name bad\n"
+      << "nodes 3 classes 2 features 1\n"
+      << "edges 1\n0 1\n"
+      << "labels\n0 1 0\n"
+      << "features\n0.5\n0.5\n0.5\n"
+      << "train 1 0\nval 1 0\ntest 1 2\n";  // node 0 in train AND val
+  out.close();
+  EXPECT_FALSE(LoadDataset(path_).ok());
+}
+
+TEST_F(IoTest, HandWrittenFileLoads) {
+  std::ofstream out(path_);
+  out << "adpa-dataset 1\n"
+      << "name tiny\n"
+      << "nodes 4 classes 2 features 2\n"
+      << "edges 3\n0 1\n1 2\n2 3\n"
+      << "labels\n0 0 1 1\n"
+      << "features\n1 0\n1 0\n0 1\n0 1\n"
+      << "train 2 0 2\nval 1 1\ntest 1 3\n";
+  out.close();
+  Result<Dataset> ds = LoadDataset(path_);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_nodes(), 4);
+  EXPECT_EQ(ds->num_edges(), 3);
+  EXPECT_FLOAT_EQ(ds->features.At(2, 1), 1.0f);
+}
+
+}  // namespace
+}  // namespace adpa
