@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_observations.dir/bench_fig2_observations.cc.o"
+  "CMakeFiles/bench_fig2_observations.dir/bench_fig2_observations.cc.o.d"
+  "bench_fig2_observations"
+  "bench_fig2_observations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_observations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sparsity.dir/bench_fig7_sparsity.cc.o"
+  "CMakeFiles/bench_fig7_sparsity.dir/bench_fig7_sparsity.cc.o.d"
+  "bench_fig7_sparsity"
+  "bench_fig7_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

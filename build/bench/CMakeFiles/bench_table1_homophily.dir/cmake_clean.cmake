@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_homophily.dir/bench_table1_homophily.cc.o"
+  "CMakeFiles/bench_table1_homophily.dir/bench_table1_homophily.cc.o.d"
+  "bench_table1_homophily"
+  "bench_table1_homophily.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_homophily.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

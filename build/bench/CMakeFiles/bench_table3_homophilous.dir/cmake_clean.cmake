@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_homophilous.dir/bench_table3_homophilous.cc.o"
+  "CMakeFiles/bench_table3_homophilous.dir/bench_table3_homophilous.cc.o.d"
+  "bench_table3_homophilous"
+  "bench_table3_homophilous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_homophilous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

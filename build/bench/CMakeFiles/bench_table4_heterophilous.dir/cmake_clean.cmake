@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_heterophilous.dir/bench_table4_heterophilous.cc.o"
+  "CMakeFiles/bench_table4_heterophilous.dir/bench_table4_heterophilous.cc.o.d"
+  "bench_table4_heterophilous"
+  "bench_table4_heterophilous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_heterophilous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

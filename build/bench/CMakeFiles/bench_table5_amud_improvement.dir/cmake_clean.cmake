@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_amud_improvement.dir/bench_table5_amud_improvement.cc.o"
+  "CMakeFiles/bench_table5_amud_improvement.dir/bench_table5_amud_improvement.cc.o.d"
+  "bench_table5_amud_improvement"
+  "bench_table5_amud_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_amud_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

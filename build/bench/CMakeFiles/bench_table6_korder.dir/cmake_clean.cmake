@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_korder.dir/bench_table6_korder.cc.o"
+  "CMakeFiles/bench_table6_korder.dir/bench_table6_korder.cc.o.d"
+  "bench_table6_korder"
+  "bench_table6_korder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_korder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_attention.dir/bench_table7_attention.cc.o"
+  "CMakeFiles/bench_table7_attention.dir/bench_table7_attention.cc.o.d"
+  "bench_table7_attention"
+  "bench_table7_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

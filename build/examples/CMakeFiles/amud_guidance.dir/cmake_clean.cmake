@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amud_guidance.dir/amud_guidance.cc.o"
+  "CMakeFiles/amud_guidance.dir/amud_guidance.cc.o.d"
+  "amud_guidance"
+  "amud_guidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amud_guidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

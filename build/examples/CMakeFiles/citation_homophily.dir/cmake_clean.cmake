@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_homophily.dir/citation_homophily.cc.o"
+  "CMakeFiles/citation_homophily.dir/citation_homophily.cc.o.d"
+  "citation_homophily"
+  "citation_homophily.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_homophily.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

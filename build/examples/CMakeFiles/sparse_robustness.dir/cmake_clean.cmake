@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_robustness.dir/sparse_robustness.cc.o"
+  "CMakeFiles/sparse_robustness.dir/sparse_robustness.cc.o.d"
+  "sparse_robustness"
+  "sparse_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

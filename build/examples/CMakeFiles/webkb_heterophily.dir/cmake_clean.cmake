@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webkb_heterophily.dir/webkb_heterophily.cc.o"
+  "CMakeFiles/webkb_heterophily.dir/webkb_heterophily.cc.o.d"
+  "webkb_heterophily"
+  "webkb_heterophily.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webkb_heterophily.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for webkb_heterophily.
+# This may be replaced when dependencies are built.

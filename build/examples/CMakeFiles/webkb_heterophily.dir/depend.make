@@ -1,0 +1,2 @@
+# Empty dependencies file for webkb_heterophily.
+# This may be replaced when dependencies are built.

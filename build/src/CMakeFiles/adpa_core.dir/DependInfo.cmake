@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amud/amud.cc" "src/CMakeFiles/adpa_core.dir/amud/amud.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/amud/amud.cc.o.d"
+  "/root/repo/src/core/flags.cc" "src/CMakeFiles/adpa_core.dir/core/flags.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/core/flags.cc.o.d"
+  "/root/repo/src/core/logging.cc" "src/CMakeFiles/adpa_core.dir/core/logging.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/core/logging.cc.o.d"
+  "/root/repo/src/core/random.cc" "src/CMakeFiles/adpa_core.dir/core/random.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/core/random.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/CMakeFiles/adpa_core.dir/core/status.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/core/status.cc.o.d"
+  "/root/repo/src/core/strings.cc" "src/CMakeFiles/adpa_core.dir/core/strings.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/core/strings.cc.o.d"
+  "/root/repo/src/data/benchmarks.cc" "src/CMakeFiles/adpa_core.dir/data/benchmarks.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/data/benchmarks.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/adpa_core.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/adpa_core.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/data/generators.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/adpa_core.dir/data/io.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/data/io.cc.o.d"
+  "/root/repo/src/data/sparsity.cc" "src/CMakeFiles/adpa_core.dir/data/sparsity.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/data/sparsity.cc.o.d"
+  "/root/repo/src/data/splits.cc" "src/CMakeFiles/adpa_core.dir/data/splits.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/data/splits.cc.o.d"
+  "/root/repo/src/graph/algorithms.cc" "src/CMakeFiles/adpa_core.dir/graph/algorithms.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/CMakeFiles/adpa_core.dir/graph/digraph.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/graph/digraph.cc.o.d"
+  "/root/repo/src/graph/patterns.cc" "src/CMakeFiles/adpa_core.dir/graph/patterns.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/graph/patterns.cc.o.d"
+  "/root/repo/src/graph/sparse_matrix.cc" "src/CMakeFiles/adpa_core.dir/graph/sparse_matrix.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/graph/sparse_matrix.cc.o.d"
+  "/root/repo/src/metrics/homophily.cc" "src/CMakeFiles/adpa_core.dir/metrics/homophily.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/metrics/homophily.cc.o.d"
+  "/root/repo/src/models/adpa.cc" "src/CMakeFiles/adpa_core.dir/models/adpa.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/models/adpa.cc.o.d"
+  "/root/repo/src/models/directed.cc" "src/CMakeFiles/adpa_core.dir/models/directed.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/models/directed.cc.o.d"
+  "/root/repo/src/models/extended.cc" "src/CMakeFiles/adpa_core.dir/models/extended.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/models/extended.cc.o.d"
+  "/root/repo/src/models/factory.cc" "src/CMakeFiles/adpa_core.dir/models/factory.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/models/factory.cc.o.d"
+  "/root/repo/src/models/label_propagation.cc" "src/CMakeFiles/adpa_core.dir/models/label_propagation.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/models/label_propagation.cc.o.d"
+  "/root/repo/src/models/undirected.cc" "src/CMakeFiles/adpa_core.dir/models/undirected.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/models/undirected.cc.o.d"
+  "/root/repo/src/tensor/autograd.cc" "src/CMakeFiles/adpa_core.dir/tensor/autograd.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/tensor/autograd.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "src/CMakeFiles/adpa_core.dir/tensor/matrix.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/tensor/matrix.cc.o.d"
+  "/root/repo/src/tensor/nn.cc" "src/CMakeFiles/adpa_core.dir/tensor/nn.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/tensor/nn.cc.o.d"
+  "/root/repo/src/tensor/optimizer.cc" "src/CMakeFiles/adpa_core.dir/tensor/optimizer.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/tensor/optimizer.cc.o.d"
+  "/root/repo/src/train/experiment.cc" "src/CMakeFiles/adpa_core.dir/train/experiment.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/train/experiment.cc.o.d"
+  "/root/repo/src/train/grid_search.cc" "src/CMakeFiles/adpa_core.dir/train/grid_search.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/train/grid_search.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/adpa_core.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/adpa_core.dir/train/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadpa_core.a"
+)

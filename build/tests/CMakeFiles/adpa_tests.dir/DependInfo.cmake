@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algorithms_test.cc" "tests/CMakeFiles/adpa_tests.dir/algorithms_test.cc.o" "gcc" "tests/CMakeFiles/adpa_tests.dir/algorithms_test.cc.o.d"
+  "/root/repo/tests/amud_test.cc" "tests/CMakeFiles/adpa_tests.dir/amud_test.cc.o" "gcc" "tests/CMakeFiles/adpa_tests.dir/amud_test.cc.o.d"
+  "/root/repo/tests/autograd_test.cc" "tests/CMakeFiles/adpa_tests.dir/autograd_test.cc.o" "gcc" "tests/CMakeFiles/adpa_tests.dir/autograd_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/adpa_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/adpa_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/adpa_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/adpa_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/digraph_test.cc" "tests/CMakeFiles/adpa_tests.dir/digraph_test.cc.o" "gcc" "tests/CMakeFiles/adpa_tests.dir/digraph_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/adpa_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/adpa_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/homophily_test.cc" "tests/CMakeFiles/adpa_tests.dir/homophily_test.cc.o" "gcc" "tests/CMakeFiles/adpa_tests.dir/homophily_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/adpa_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/adpa_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/adpa_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/adpa_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/matrix_test.cc" "tests/CMakeFiles/adpa_tests.dir/matrix_test.cc.o" "gcc" "tests/CMakeFiles/adpa_tests.dir/matrix_test.cc.o.d"
+  "/root/repo/tests/model_semantics_test.cc" "tests/CMakeFiles/adpa_tests.dir/model_semantics_test.cc.o" "gcc" "tests/CMakeFiles/adpa_tests.dir/model_semantics_test.cc.o.d"
+  "/root/repo/tests/models_test.cc" "tests/CMakeFiles/adpa_tests.dir/models_test.cc.o" "gcc" "tests/CMakeFiles/adpa_tests.dir/models_test.cc.o.d"
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/adpa_tests.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/adpa_tests.dir/nn_test.cc.o.d"
+  "/root/repo/tests/sparse_test.cc" "tests/CMakeFiles/adpa_tests.dir/sparse_test.cc.o" "gcc" "tests/CMakeFiles/adpa_tests.dir/sparse_test.cc.o.d"
+  "/root/repo/tests/trainer_test.cc" "tests/CMakeFiles/adpa_tests.dir/trainer_test.cc.o" "gcc" "tests/CMakeFiles/adpa_tests.dir/trainer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adpa_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adpa_cli.dir/adpa_cli.cc.o"
+  "CMakeFiles/adpa_cli.dir/adpa_cli.cc.o.d"
+  "adpa_cli"
+  "adpa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adpa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
