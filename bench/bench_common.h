@@ -7,6 +7,8 @@
 //   --epochs=N    max training epochs
 //   --patience=N  early-stopping patience (0 disables)
 //   --scale=F     node-count multiplier for the registry datasets
+//   --threads=N   parallel runtime width (0 = auto; results are identical
+//                 for any value, see src/core/parallel.h)
 // Defaults are sized for a single-core sweep; raise them (e.g. --repeats=10
 // --epochs=300 --scale=1.5) to approach the paper's full protocol.
 
@@ -15,6 +17,7 @@
 
 #include "src/core/flags.h"
 #include "src/core/logging.h"
+#include "src/core/parallel.h"
 #include "src/core/strings.h"
 #include "src/data/benchmarks.h"
 #include "src/models/factory.h"
@@ -45,6 +48,9 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv,
   options.patience =
       static_cast<int>(flags.GetInt("patience", defaults.patience));
   options.scale = flags.GetDouble("scale", defaults.scale);
+  if (flags.Has("threads")) {
+    SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
+  }
   return options;
 }
 

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/amud/amud.h"
+#include "src/core/parallel.h"
 #include "src/core/random.h"
 #include "src/data/generators.h"
 #include "src/graph/patterns.h"
@@ -31,6 +32,7 @@ Dataset MakeGraph(int64_t nodes, double degree, int64_t features,
 void BM_SpMM(benchmark::State& state) {
   const int64_t n = state.range(0);
   const int64_t f = state.range(1);
+  SetNumThreads(static_cast<int>(state.range(2)));
   Dataset ds = MakeGraph(n, 8.0, f);
   const SparseMatrix op =
       NormalizeSymmetric(AddSelfLoops(ds.graph.AdjacencyMatrix()));
@@ -38,15 +40,21 @@ void BM_SpMM(benchmark::State& state) {
     benchmark::DoNotOptimize(op.Multiply(ds.features));
   }
   state.SetItemsProcessed(state.iterations() * op.nnz() * f);
+  SetNumThreads(0);
 }
 BENCHMARK(BM_SpMM)
-    ->Args({1000, 32})
-    ->Args({1000, 128})
-    ->Args({4000, 32})
-    ->Args({4000, 128});
+    ->ArgNames({"n", "f", "threads"})
+    ->Args({1000, 32, 1})
+    ->Args({1000, 128, 1})
+    ->Args({4000, 32, 1})
+    ->Args({4000, 128, 1})
+    ->Args({4000, 128, 2})
+    ->Args({4000, 128, 4})
+    ->Args({4000, 128, 8});
 
 void BM_DenseMatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
+  SetNumThreads(static_cast<int>(state.range(1)));
   Rng rng(1);
   Matrix a = Matrix::RandomNormal(n, 64, &rng);
   Matrix b = Matrix::RandomNormal(64, 64, &rng);
@@ -54,8 +62,62 @@ void BM_DenseMatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(MatMul(a, b));
   }
   state.SetItemsProcessed(state.iterations() * n * 64 * 64);
+  SetNumThreads(0);
 }
-BENCHMARK(BM_DenseMatMul)->Arg(500)->Arg(2000)->Arg(8000);
+BENCHMARK(BM_DenseMatMul)
+    ->ArgNames({"n", "threads"})
+    ->Args({500, 1})
+    ->Args({2000, 1})
+    ->Args({8000, 1})
+    ->Args({8000, 2})
+    ->Args({8000, 4});
+
+// Verbatim copy of the seed MatMul kernel (naive ikj, float accumulation,
+// zero-skip) — the baseline the blocked kernel is measured against.
+Matrix SeedMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (int64_t i = 0; i < n; ++i) {
+    float* out_row = out.Row(i);
+    const float* a_row = a.Row(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      if (a_ip == 0.0f) continue;
+      const float* b_row = b.Row(p);
+      for (int64_t j = 0; j < m; ++j) out_row[j] += a_ip * b_row[j];
+    }
+  }
+  return out;
+}
+
+void BM_MatMulSeedKernel512(benchmark::State& state) {
+  Rng rng(2);
+  Matrix a = Matrix::RandomNormal(512, 512, &rng);
+  Matrix b = Matrix::RandomNormal(512, 512, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SeedMatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 512 * 512);
+}
+BENCHMARK(BM_MatMulSeedKernel512);
+
+void BM_MatMulBlocked512(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(0)));
+  Rng rng(2);
+  Matrix a = Matrix::RandomNormal(512, 512, &rng);
+  Matrix b = Matrix::RandomNormal(512, 512, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 512 * 512);
+  SetNumThreads(0);
+}
+BENCHMARK(BM_MatMulBlocked512)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
 
 // The decoupled-propagation claim: pre-processing cost grows linearly in
 // the pattern order budget k and the step count K, independent of training.
@@ -68,9 +130,7 @@ void BM_DpPropagation(benchmark::State& state) {
   for (auto _ : state) {
     std::vector<Matrix> states(dps.size(), ds.features);
     for (int l = 0; l < steps; ++l) {
-      for (size_t g = 0; g < dps.size(); ++g) {
-        states[g] = patterns.Apply(dps[g], states[g]);
-      }
+      patterns.ApplyStep(dps, &states);
     }
     benchmark::DoNotOptimize(states);
   }

@@ -1,0 +1,220 @@
+#include "src/core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/logging.h"
+
+namespace adpa {
+namespace {
+
+thread_local int tls_region_depth = 0;
+
+/// RAII marker so nested ParallelFor calls detect they are already inside a
+/// parallel region and run inline.
+struct RegionGuard {
+  RegionGuard() { ++tls_region_depth; }
+  ~RegionGuard() { --tls_region_depth; }
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+};
+
+/// One ParallelFor invocation: a fixed list of chunks claimed via an atomic
+/// cursor by whichever threads (workers + the caller) reach it first. Which
+/// thread runs which chunk is scheduling-dependent; the chunk list itself —
+/// and therefore the work done per output element — is not.
+struct Job {
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<int> remaining{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  // first failure; guarded by done_mutex
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) : num_threads_(num_threads) {
+    ADPA_CHECK_GE(num_threads, 1);
+    workers_.reserve(num_threads - 1);
+    for (int i = 0; i + 1 < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  int num_threads() const { return num_threads_; }
+
+  void Run(int64_t begin, int64_t end, int64_t grain,
+           const std::function<void(int64_t, int64_t)>& fn) {
+    const int64_t total = end - begin;
+    // Floor division keeps every chunk at least `grain` indices wide.
+    const int64_t max_chunks =
+        std::max<int64_t>(1, std::min<int64_t>(num_threads_, total / grain));
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->chunks.reserve(max_chunks);
+    // Balanced static partition: the first `total % max_chunks` chunks take
+    // one extra index, so chunk boundaries depend only on (range, grain,
+    // num_threads) — never on runtime timing.
+    const int64_t base = total / max_chunks;
+    const int64_t extra = total % max_chunks;
+    int64_t at = begin;
+    for (int64_t c = 0; c < max_chunks; ++c) {
+      const int64_t size = base + (c < extra ? 1 : 0);
+      job->chunks.emplace_back(at, at + size);
+      at += size;
+    }
+    job->remaining.store(static_cast<int>(job->chunks.size()),
+                         std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      jobs_.push_back(job);
+    }
+    wake_cv_.notify_all();
+    // The caller participates instead of blocking immediately.
+    ExecuteChunks(*job);
+    {
+      std::unique_lock<std::mutex> lock(job->done_mutex);
+      job->done_cv.wait(lock, [&job] {
+        return job->remaining.load(std::memory_order_acquire) == 0;
+      });
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+        if (it->get() == job.get()) {
+          jobs_.erase(it);
+          break;
+        }
+      }
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+        if (stop_) return;
+        job = jobs_.front();
+        if (job->next_chunk.load(std::memory_order_relaxed) >=
+            job->chunks.size()) {
+          // Fully claimed; drop it so the queue drains even if the caller
+          // is still waiting on stragglers.
+          jobs_.pop_front();
+          continue;
+        }
+      }
+      ExecuteChunks(*job);
+    }
+  }
+
+  static void ExecuteChunks(Job& job) {
+    for (;;) {
+      const size_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job.chunks.size()) return;
+      {
+        RegionGuard guard;
+        try {
+          (*job.fn)(job.chunks[c].first, job.chunks[c].second);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(job.done_mutex);
+          if (!job.error) job.error = std::current_exception();
+        }
+      }
+      if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(job.done_mutex);
+        job.done_cv.notify_all();
+      }
+    }
+  }
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  bool stop_ = false;
+};
+
+std::mutex& PoolMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+// Guarded by PoolMutex(). 0 means "auto-detect".
+int configured_threads = 0;
+ThreadPool* pool = nullptr;  // intentionally leaked at exit
+
+ThreadPool& GetPool() {
+  std::lock_guard<std::mutex> lock(PoolMutex());
+  if (pool == nullptr) {
+    const int n =
+        configured_threads > 0 ? configured_threads : DefaultNumThreads();
+    pool = new ThreadPool(n);
+  }
+  return *pool;
+}
+
+}  // namespace
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("ADPA_NUM_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed >= 1) {
+      return static_cast<int>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int GetNumThreads() {
+  std::lock_guard<std::mutex> lock(PoolMutex());
+  if (pool != nullptr) return pool->num_threads();
+  return configured_threads > 0 ? configured_threads : DefaultNumThreads();
+}
+
+void SetNumThreads(int num_threads) {
+  ADPA_CHECK(!InParallelRegion())
+      << "SetNumThreads called from inside a ParallelFor body";
+  std::lock_guard<std::mutex> lock(PoolMutex());
+  configured_threads = num_threads > 0 ? num_threads : 0;
+  delete pool;  // joins workers; rebuilt lazily at the next ParallelFor
+  pool = nullptr;
+}
+
+bool InParallelRegion() { return tls_region_depth > 0; }
+
+namespace internal {
+
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn) {
+  GetPool().Run(begin, end, grain, fn);
+}
+
+}  // namespace internal
+
+}  // namespace adpa

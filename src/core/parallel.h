@@ -1,0 +1,79 @@
+#ifndef ADPA_CORE_PARALLEL_H_
+#define ADPA_CORE_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace adpa {
+
+/// Process-wide parallel execution runtime.
+///
+/// A lazily-initialized persistent thread pool backs `ParallelFor`, the
+/// single primitive every compute hot path (dense kernels, SpMM, DP
+/// propagation, grid-search trials) is built on.
+///
+/// Determinism contract: `ParallelFor` splits `[begin, end)` into contiguous
+/// chunks and every index is processed exactly once by exactly one thread.
+/// Kernels built on it partition *output* elements, so as long as the chunk
+/// body writes only to its own range and reads shared inputs, results are
+/// bitwise identical for any thread count (1, 2, 8, ...). Reductions that
+/// would need cross-chunk combining (SumAll, FrobeniusNorm, ...) stay
+/// serial for exactly this reason.
+///
+/// Thread-count resolution order:
+///   1. `SetNumThreads(n)` with n >= 1 (the `--threads` flag ends up here),
+///   2. the `ADPA_NUM_THREADS` environment variable,
+///   3. `std::thread::hardware_concurrency()`.
+///
+/// Nested `ParallelFor` calls (a parallel kernel inside a parallel
+/// grid-search trial, for example) execute inline on the calling worker, so
+/// nesting is always safe and never oversubscribes.
+
+/// Current thread-pool width (>= 1).
+int GetNumThreads();
+
+/// Reconfigures the pool width. `num_threads <= 0` restores automatic
+/// detection (env var, then hardware concurrency). Joins the old pool's
+/// workers; must not be called from inside a `ParallelFor` body.
+void SetNumThreads(int num_threads);
+
+/// The width automatic detection would pick (ADPA_NUM_THREADS env var,
+/// falling back to hardware_concurrency), independent of SetNumThreads.
+int DefaultNumThreads();
+
+/// True while the calling thread is executing a `ParallelFor` chunk. Used
+/// to run nested parallel regions inline.
+bool InParallelRegion();
+
+namespace internal {
+
+/// Type-erased backend: splits `[begin, end)` into at most `GetNumThreads()`
+/// contiguous chunks of at least `grain` indices, runs `fn(chunk_begin,
+/// chunk_end)` on the pool plus the calling thread, and rethrows the first
+/// exception a chunk threw after all chunks finished.
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace internal
+
+/// Runs `fn(chunk_begin, chunk_end)` over a static partition of
+/// `[begin, end)`. `grain` is the minimum chunk size (and the serial
+/// cut-off: ranges of at most `grain` indices run inline with no pool
+/// round-trip). `fn` must write only to state owned by its index range.
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  if (end <= begin) return;
+  const int64_t min_chunk = grain > 0 ? grain : 1;
+  if (InParallelRegion() || end - begin <= min_chunk || GetNumThreads() == 1) {
+    std::forward<Fn>(fn)(begin, end);
+    return;
+  }
+  internal::ParallelForImpl(begin, end, min_chunk,
+                            std::function<void(int64_t, int64_t)>(
+                                std::forward<Fn>(fn)));
+}
+
+}  // namespace adpa
+
+#endif  // ADPA_CORE_PARALLEL_H_

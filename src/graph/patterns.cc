@@ -1,6 +1,7 @@
 #include "src/graph/patterns.h"
 
 #include "src/core/logging.h"
+#include "src/core/parallel.h"
 
 namespace adpa {
 
@@ -66,6 +67,17 @@ Matrix PatternSet::Apply(const DirectedPattern& pattern,
     result = ApplyHop(*it, result);
   }
   return result;
+}
+
+void PatternSet::ApplyStep(const std::vector<DirectedPattern>& patterns,
+                           std::vector<Matrix>* states) const {
+  ADPA_CHECK_EQ(patterns.size(), states->size());
+  ParallelFor(0, static_cast<int64_t>(patterns.size()), 1,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t g = begin; g < end; ++g) {
+                  (*states)[g] = Apply(patterns[g], (*states)[g]);
+                }
+              });
 }
 
 SparseMatrix PatternSet::Reachability(const DirectedPattern& pattern,

@@ -62,6 +62,14 @@ class PatternSet {
   /// One single hop step (used by iterated K-step propagation).
   Matrix ApplyHop(Hop hop, const Matrix& x) const;
 
+  /// Advances every per-pattern propagation state by one pattern
+  /// application: (*states)[g] = Apply(patterns[g], (*states)[g]). The k
+  /// chains are independent and run in parallel (their inner SpMM calls
+  /// then run inline); results are bitwise identical to calling Apply
+  /// sequentially for any thread count.
+  void ApplyStep(const std::vector<DirectedPattern>& patterns,
+                 std::vector<Matrix>* states) const;
+
   /// Boolean reachability matrix of the pattern over the *raw* adjacency
   /// (no self loops, unnormalized): entry (u,v)=1 iff v is reachable from u
   /// through the pattern's hop sequence. `max_row_nnz > 0` caps row fill-in.

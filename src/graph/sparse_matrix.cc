@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/core/logging.h"
+#include "src/core/parallel.h"
 
 namespace adpa {
 
@@ -66,14 +67,19 @@ Matrix SparseMatrix::Multiply(const Matrix& dense) const {
   ADPA_CHECK_EQ(cols_, dense.rows());
   Matrix out(rows_, dense.cols());
   const int64_t f = dense.cols();
-  for (int64_t r = 0; r < rows_; ++r) {
-    float* out_row = out.Row(r);
-    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-      const float w = values_[p];
-      const float* in_row = dense.Row(col_idx_[p]);
-      for (int64_t c = 0; c < f; ++c) out_row[c] += w * in_row[c];
+  // Each output row depends only on its own CSR row, so partitioning rows
+  // over threads keeps the per-row accumulation order (and every bit of
+  // the result) identical to the serial kernel.
+  ParallelFor(0, rows_, 32, [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      float* out_row = out.Row(r);
+      for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+        const float w = values_[p];
+        const float* in_row = dense.Row(col_idx_[p]);
+        for (int64_t c = 0; c < f; ++c) out_row[c] += w * in_row[c];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -81,14 +87,27 @@ Matrix SparseMatrix::MultiplyTransposed(const Matrix& dense) const {
   ADPA_CHECK_EQ(rows_, dense.rows());
   Matrix out(cols_, dense.cols());
   const int64_t f = dense.cols();
-  for (int64_t r = 0; r < rows_; ++r) {
-    const float* in_row = dense.Row(r);
-    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-      const float w = values_[p];
-      float* out_row = out.Row(col_idx_[p]);
-      for (int64_t c = 0; c < f; ++c) out_row[c] += w * in_row[c];
+  // The serial kernel scatters row r into out[col_idx]; a parallel scatter
+  // would race. Instead each thread owns a contiguous range of *output*
+  // rows and gathers: for every input row, binary-search (columns are
+  // sorted within a row) the sub-range of nonzeros that lands in the owned
+  // output range. Input rows are visited in increasing r exactly like the
+  // serial scatter, so per-element accumulation order — and the result —
+  // is bitwise identical for any thread count.
+  ParallelFor(0, cols_, 64, [&](int64_t out_begin, int64_t out_end) {
+    for (int64_t r = 0; r < rows_; ++r) {
+      const float* in_row = dense.Row(r);
+      const auto row_begin = col_idx_.begin() + row_ptr_[r];
+      const auto row_end = col_idx_.begin() + row_ptr_[r + 1];
+      const auto first = std::lower_bound(row_begin, row_end,
+                                          static_cast<int32_t>(out_begin));
+      for (auto it = first; it != row_end && *it < out_end; ++it) {
+        const float w = values_[it - col_idx_.begin()];
+        float* out_row = out.Row(*it);
+        for (int64_t c = 0; c < f; ++c) out_row[c] += w * in_row[c];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -106,40 +125,63 @@ SparseMatrix SparseMatrix::Transposed() const {
 SparseMatrix SparseMatrix::MultiplySparse(const SparseMatrix& other,
                                           int64_t max_row_nnz) const {
   ADPA_CHECK_EQ(cols_, other.rows_);
+  // Fixed-size row blocks (independent of the thread count) each produce
+  // their own triplet list; every row's accumulation runs exactly as in
+  // the serial kernel, and FromTriplets re-sorts by (row, col), so the
+  // result is identical for any thread count.
+  constexpr int64_t kRowBlock = 256;
+  const int64_t num_blocks = (rows_ + kRowBlock - 1) / kRowBlock;
+  std::vector<std::vector<Triplet>> block_triplets(num_blocks);
+  ParallelFor(0, num_blocks, 1, [&](int64_t block_begin, int64_t block_end) {
+    // Gustavson's algorithm with a dense accumulator per row.
+    std::vector<float> accumulator(other.cols_, 0.0f);
+    std::vector<int64_t> touched;
+    for (int64_t blk = block_begin; blk < block_end; ++blk) {
+      std::vector<Triplet>& triplets = block_triplets[blk];
+      const int64_t r_first = blk * kRowBlock;
+      const int64_t r_last = std::min(r_first + kRowBlock, rows_);
+      for (int64_t r = r_first; r < r_last; ++r) {
+        touched.clear();
+        for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+          const int64_t mid = col_idx_[p];
+          const float w = values_[p];
+          for (int64_t q = other.row_ptr_[mid]; q < other.row_ptr_[mid + 1];
+               ++q) {
+            const int64_t c = other.col_idx_[q];
+            if (accumulator[c] == 0.0f) touched.push_back(c);
+            accumulator[c] += w * other.values_[q];
+          }
+        }
+        if (max_row_nnz > 0 &&
+            static_cast<int64_t>(touched.size()) > max_row_nnz) {
+          // Density guard: keep only the strongest entries of this row.
+          std::nth_element(touched.begin(), touched.begin() + max_row_nnz,
+                           touched.end(), [&](int64_t a, int64_t b) {
+                             return std::fabs(accumulator[a]) >
+                                    std::fabs(accumulator[b]);
+                           });
+          for (size_t i = max_row_nnz; i < touched.size(); ++i) {
+            accumulator[touched[i]] = 0.0f;
+          }
+          touched.resize(max_row_nnz);
+        }
+        for (int64_t c : touched) {
+          if (accumulator[c] != 0.0f) {
+            triplets.push_back({r, c, accumulator[c]});
+            accumulator[c] = 0.0f;
+          }
+        }
+      }
+    }
+  });
+  size_t total = 0;
+  for (const std::vector<Triplet>& block : block_triplets) {
+    total += block.size();
+  }
   std::vector<Triplet> triplets;
-  // Gustavson's algorithm with a dense accumulator per row.
-  std::vector<float> accumulator(other.cols_, 0.0f);
-  std::vector<int64_t> touched;
-  for (int64_t r = 0; r < rows_; ++r) {
-    touched.clear();
-    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-      const int64_t mid = col_idx_[p];
-      const float w = values_[p];
-      for (int64_t q = other.row_ptr_[mid]; q < other.row_ptr_[mid + 1]; ++q) {
-        const int64_t c = other.col_idx_[q];
-        if (accumulator[c] == 0.0f) touched.push_back(c);
-        accumulator[c] += w * other.values_[q];
-      }
-    }
-    if (max_row_nnz > 0 &&
-        static_cast<int64_t>(touched.size()) > max_row_nnz) {
-      // Density guard: keep only the strongest entries of this row.
-      std::nth_element(touched.begin(), touched.begin() + max_row_nnz,
-                       touched.end(), [&](int64_t a, int64_t b) {
-                         return std::fabs(accumulator[a]) >
-                                std::fabs(accumulator[b]);
-                       });
-      for (size_t i = max_row_nnz; i < touched.size(); ++i) {
-        accumulator[touched[i]] = 0.0f;
-      }
-      touched.resize(max_row_nnz);
-    }
-    for (int64_t c : touched) {
-      if (accumulator[c] != 0.0f) {
-        triplets.push_back({r, c, accumulator[c]});
-        accumulator[c] = 0.0f;
-      }
-    }
+  triplets.reserve(total);
+  for (std::vector<Triplet>& block : block_triplets) {
+    triplets.insert(triplets.end(), block.begin(), block.end());
   }
   return FromTriplets(rows_, other.cols_, std::move(triplets));
 }

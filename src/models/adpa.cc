@@ -44,8 +44,8 @@ AdpaModel::AdpaModel(const Dataset& dataset, const ModelConfig& config,
     if (config_.initial_residual) {
       blocks.push_back(ag::Constant(dataset.features));
     }
+    pattern_set.ApplyStep(patterns_, &state);
     for (int64_t g = 0; g < k; ++g) {
-      state[g] = pattern_set.Apply(patterns_[g], state[g]);
       blocks.push_back(ag::Constant(state[g]));
     }
     propagated_[l] = std::move(blocks);

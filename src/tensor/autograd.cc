@@ -169,7 +169,7 @@ Variable SpMM(const SparseMatrix& a, const Variable& x) {
 Variable Relu(const Variable& a) {
   auto pa = a.node();
   Matrix out = a.value();
-  out.Apply([](float v) { return v > 0.0f ? v : 0.0f; });
+  out.ApplyFn([](float v) { return v > 0.0f ? v : 0.0f; });
   return Variable(MakeOp(std::move(out), {pa}, [pa](const Matrix& g) {
     if (!pa->requires_grad) return;
     Matrix masked = g;
@@ -183,7 +183,7 @@ Variable Relu(const Variable& a) {
 Variable LeakyRelu(const Variable& a, float negative_slope) {
   auto pa = a.node();
   Matrix out = a.value();
-  out.Apply([negative_slope](float v) {
+  out.ApplyFn([negative_slope](float v) {
     return v > 0.0f ? v : negative_slope * v;
   });
   return Variable(
@@ -200,7 +200,7 @@ Variable LeakyRelu(const Variable& a, float negative_slope) {
 Variable Sigmoid(const Variable& a) {
   auto pa = a.node();
   Matrix out = a.value();
-  out.Apply([](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  out.ApplyFn([](float v) { return 1.0f / (1.0f + std::exp(-v)); });
   Matrix saved = out;  // σ(x), reused in the backward pass
   return Variable(
       MakeOp(std::move(out), {pa}, [pa, saved](const Matrix& g) {
@@ -217,7 +217,7 @@ Variable Sigmoid(const Variable& a) {
 Variable Tanh(const Variable& a) {
   auto pa = a.node();
   Matrix out = a.value();
-  out.Apply([](float v) { return std::tanh(v); });
+  out.ApplyFn([](float v) { return std::tanh(v); });
   Matrix saved = out;
   return Variable(MakeOp(std::move(out), {pa}, [pa, saved](const Matrix& g) {
     if (!pa->requires_grad) return;

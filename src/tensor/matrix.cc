@@ -65,35 +65,57 @@ float& Matrix::CheckedAt(int64_t r, int64_t c) {
 }
 
 void Matrix::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  float* values = data_.data();
+  ParallelFor(0, size(), kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    std::fill(values + begin, values + end, value);
+  });
 }
 
 void Matrix::AddInPlace(const Matrix& other) {
   ADPA_CHECK(SameShape(other));
-  for (int64_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  float* dst = data_.data();
+  const float* src = other.data_.data();
+  ParallelFor(0, size(), kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) dst[i] += src[i];
+  });
 }
 
 void Matrix::SubInPlace(const Matrix& other) {
   ADPA_CHECK(SameShape(other));
-  for (int64_t i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+  float* dst = data_.data();
+  const float* src = other.data_.data();
+  ParallelFor(0, size(), kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) dst[i] -= src[i];
+  });
 }
 
 void Matrix::MulInPlace(const Matrix& other) {
   ADPA_CHECK(SameShape(other));
-  for (int64_t i = 0; i < size(); ++i) data_[i] *= other.data_[i];
+  float* dst = data_.data();
+  const float* src = other.data_.data();
+  ParallelFor(0, size(), kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) dst[i] *= src[i];
+  });
 }
 
 void Matrix::ScaleInPlace(float factor) {
-  for (float& value : data_) value *= factor;
+  float* values = data_.data();
+  ParallelFor(0, size(), kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) values[i] *= factor;
+  });
 }
 
 void Matrix::AddScaledInPlace(const Matrix& other, float factor) {
   ADPA_CHECK(SameShape(other));
-  for (int64_t i = 0; i < size(); ++i) data_[i] += factor * other.data_[i];
+  float* dst = data_.data();
+  const float* src = other.data_.data();
+  ParallelFor(0, size(), kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) dst[i] += factor * src[i];
+  });
 }
 
 void Matrix::Apply(const std::function<float(float)>& fn) {
-  for (float& value : data_) value = fn(value);
+  ApplyFn([&fn](float value) { return fn(value); });
 }
 
 float Matrix::SumAll() const {
@@ -115,9 +137,13 @@ float Matrix::FrobeniusNorm() const {
 
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
-  for (int64_t r = 0; r < rows_; ++r) {
-    for (int64_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
-  }
+  // Partition over output rows; each is written by exactly one thread.
+  ParallelFor(0, cols_, 16, [&](int64_t begin, int64_t end) {
+    for (int64_t c = begin; c < end; ++c) {
+      float* out_row = out.Row(c);
+      for (int64_t r = 0; r < rows_; ++r) out_row[r] = At(r, c);
+    }
+  });
   return out;
 }
 
@@ -148,20 +174,134 @@ std::string Matrix::ToString(int max_rows, int max_cols) const {
   return out.str();
 }
 
+namespace {
+
+// Register tile of the blocked GEMM micro-kernel: kGemmMr output rows by
+// kGemmNr output columns of double accumulators (4x32 doubles = 1 KiB,
+// within the AVX register budget after spilling the hot lanes).
+constexpr int64_t kGemmMr = 4;
+constexpr int64_t kGemmNr = 32;
+
+// Widens a float buffer to double, in parallel. Pure per-element
+// conversion, so trivially thread-count independent.
+std::vector<double> WidenToDouble(const float* src, int64_t count) {
+  std::vector<double> out(count);
+  double* dst = out.data();
+  ParallelFor(0, count, kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) dst[i] = src[i];
+  });
+  return out;
+}
+
+// Computes output rows [i_begin, i_end) of a*b from a pre-widened `a`
+// (`ad`, row-major n x k doubles) and the original float `b`. Iterates
+// column slabs of kGemmNr, packing each slab into a local zero-padded
+// k x kGemmNr double buffer (stays L2-resident across the row panels),
+// then runs the register-tiled micro-kernel. Every output element is the
+// sequential-k double dot product of its row and column, independent of
+// the [i_begin, i_end) partition — so any chunking of rows over threads
+// produces bitwise-identical results.
+void GemmChunk(const double* ad, const Matrix& b, int64_t i_begin,
+               int64_t i_end, int64_t k, int64_t m, Matrix* out) {
+  std::vector<double> slab_buf(k * kGemmNr);
+  double* slab = slab_buf.data();
+  const int64_t num_slabs = (m + kGemmNr - 1) / kGemmNr;
+  for (int64_t s = 0; s < num_slabs; ++s) {
+    const int64_t j0 = s * kGemmNr;
+    const int64_t width = std::min<int64_t>(kGemmNr, m - j0);
+    for (int64_t p = 0; p < k; ++p) {
+      const float* b_row = b.Row(p) + j0;
+      double* dst = slab + p * kGemmNr;
+      int64_t l = 0;
+      for (; l < width; ++l) dst[l] = b_row[l];
+      for (; l < kGemmNr; ++l) dst[l] = 0.0;  // padded lanes are discarded
+    }
+    int64_t i0 = i_begin;
+    for (; i0 + kGemmMr <= i_end; i0 += kGemmMr) {
+      double c[kGemmMr][kGemmNr] = {};
+      const double* a0 = ad + (i0 + 0) * k;
+      const double* a1 = ad + (i0 + 1) * k;
+      const double* a2 = ad + (i0 + 2) * k;
+      const double* a3 = ad + (i0 + 3) * k;
+      for (int64_t p = 0; p < k; ++p) {
+        const double* b_row = slab + p * kGemmNr;
+        const double av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
+        for (int64_t l = 0; l < kGemmNr; ++l) {
+          const double bv = b_row[l];
+          c[0][l] += av0 * bv;
+          c[1][l] += av1 * bv;
+          c[2][l] += av2 * bv;
+          c[3][l] += av3 * bv;
+        }
+      }
+      for (int64_t r = 0; r < kGemmMr; ++r) {
+        float* out_row = out->Row(i0 + r) + j0;
+        for (int64_t l = 0; l < width; ++l) {
+          out_row[l] = static_cast<float>(c[r][l]);
+        }
+      }
+    }
+    // Row tail (< kGemmMr rows): single-row micro-kernel. Per element this
+    // is the same sequential-k FMA chain as the 4-row kernel, so a row
+    // lands on the same bits whichever path computes it.
+    for (; i0 < i_end; ++i0) {
+      double c1[kGemmNr] = {};
+      const double* a_row = ad + i0 * k;
+      for (int64_t p = 0; p < k; ++p) {
+        const double av = a_row[p];
+        const double* b_row = slab + p * kGemmNr;
+        for (int64_t l = 0; l < kGemmNr; ++l) c1[l] += av * b_row[l];
+      }
+      float* out_row = out->Row(i0) + j0;
+      for (int64_t l = 0; l < width; ++l) {
+        out_row[l] = static_cast<float>(c1[l]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   ADPA_CHECK_EQ(a.cols(), b.rows());
   Matrix out(a.rows(), b.cols());
   const int64_t n = a.rows(), k = a.cols(), m = b.cols();
-  for (int64_t i = 0; i < n; ++i) {
-    float* out_row = out.Row(i);
-    const float* a_row = a.Row(i);
-    for (int64_t p = 0; p < k; ++p) {
-      const float a_ip = a_row[p];
-      if (a_ip == 0.0f) continue;
-      const float* b_row = b.Row(p);
-      for (int64_t j = 0; j < m; ++j) out_row[j] += a_ip * b_row[j];
+  if (n == 0 || k == 0 || m == 0) return out;
+  const std::vector<double> ad = WidenToDouble(a.data(), n * k);
+  // Partition over row panels (multiples of kGemmMr) so panel grouping —
+  // and with it the exact instruction path per row — is independent of the
+  // thread count.
+  const int64_t num_panels = (n + kGemmMr - 1) / kGemmMr;
+  ParallelFor(0, num_panels, 1, [&](int64_t begin, int64_t end) {
+    GemmChunk(ad.data(), b, begin * kGemmMr, std::min(end * kGemmMr, n), k, m,
+              &out);
+  });
+  return out;
+}
+
+Matrix MatMulSparseA(const Matrix& a, const Matrix& b) {
+  ADPA_CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  if (n == 0 || k == 0 || m == 0) return out;
+  ParallelFor(0, n, 1, [&](int64_t row_begin, int64_t row_end) {
+    std::vector<double> acc(m);
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      const float* a_row = a.Row(i);
+      for (int64_t p = 0; p < k; ++p) {
+        const float a_ip = a_row[p];
+        if (a_ip == 0.0f) continue;  // a zero term adds exactly nothing
+        const double av = a_ip;
+        const float* b_row = b.Row(p);
+        for (int64_t j = 0; j < m; ++j) acc[j] += av * b_row[j];
+      }
+      float* out_row = out.Row(i);
+      for (int64_t j = 0; j < m; ++j) {
+        out_row[j] = static_cast<float>(acc[j]);
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -169,16 +309,41 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
   ADPA_CHECK_EQ(a.rows(), b.rows());
   Matrix out(a.cols(), b.cols());
   const int64_t n = a.rows(), k = a.cols(), m = b.cols();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* a_row = a.Row(i);
-    const float* b_row = b.Row(i);
-    for (int64_t p = 0; p < k; ++p) {
-      const float a_ip = a_row[p];
-      if (a_ip == 0.0f) continue;
-      float* out_row = out.Row(p);
-      for (int64_t j = 0; j < m; ++j) out_row[j] += a_ip * b_row[j];
+  if (n == 0 || k == 0 || m == 0) return out;
+  // Partition over fixed-size blocks of output rows (columns p of `a`).
+  // Each block sweeps all n inputs once, accumulating its block x m tile in
+  // a local double scratch; p-order within a block and i-order within a
+  // sweep are fixed, so results do not depend on the thread count.
+  constexpr int64_t kBlock = 32;
+  const int64_t num_blocks = (k + kBlock - 1) / kBlock;
+  ParallelFor(0, num_blocks, 1, [&](int64_t block_begin, int64_t block_end) {
+    std::vector<double> acc(kBlock * m);
+    for (int64_t blk = block_begin; blk < block_end; ++blk) {
+      const int64_t p0 = blk * kBlock;
+      const int64_t p1 = std::min(p0 + kBlock, k);
+      std::fill(acc.begin(), acc.begin() + (p1 - p0) * m, 0.0);
+      for (int64_t i = 0; i < n; ++i) {
+        const float* a_row = a.Row(i);
+        const float* b_row = b.Row(i);
+        for (int64_t p = p0; p < p1; ++p) {
+          const float a_ip = a_row[p];
+          // Skipping exact zeros (ReLU/dropout gradients are full of them)
+          // leaves the double accumulator bit-for-bit unchanged.
+          if (a_ip == 0.0f) continue;
+          const double av = a_ip;
+          double* acc_row = acc.data() + (p - p0) * m;
+          for (int64_t j = 0; j < m; ++j) acc_row[j] += av * b_row[j];
+        }
+      }
+      for (int64_t p = p0; p < p1; ++p) {
+        float* out_row = out.Row(p);
+        const double* acc_row = acc.data() + (p - p0) * m;
+        for (int64_t j = 0; j < m; ++j) {
+          out_row[j] = static_cast<float>(acc_row[j]);
+        }
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -186,16 +351,21 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   ADPA_CHECK_EQ(a.cols(), b.cols());
   Matrix out(a.rows(), b.rows());
   const int64_t n = a.rows(), k = a.cols(), m = b.rows();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* a_row = a.Row(i);
-    float* out_row = out.Row(i);
-    for (int64_t j = 0; j < m; ++j) {
-      const float* b_row = b.Row(j);
-      double acc = 0.0;
-      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      out_row[j] = static_cast<float>(acc);
+  if (n == 0 || k == 0 || m == 0) return out;
+  ParallelFor(0, n, 1, [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* a_row = a.Row(i);
+      float* out_row = out.Row(i);
+      for (int64_t j = 0; j < m; ++j) {
+        const float* b_row = b.Row(j);
+        double acc = 0.0;
+        for (int64_t p = 0; p < k; ++p) {
+          acc += static_cast<double>(a_row[p]) * b_row[p];
+        }
+        out_row[j] = static_cast<float>(acc);
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -259,20 +429,22 @@ Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
 
 Matrix SoftmaxRows(const Matrix& a) {
   Matrix out(a.rows(), a.cols());
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    const float* in_row = a.Row(r);
-    float* out_row = out.Row(r);
-    float max_value = in_row[0];
-    for (int64_t c = 1; c < a.cols(); ++c)
-      max_value = std::max(max_value, in_row[c]);
-    double total = 0.0;
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      out_row[c] = std::exp(in_row[c] - max_value);
-      total += out_row[c];
+  ParallelFor(0, a.rows(), 8, [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      const float* in_row = a.Row(r);
+      float* out_row = out.Row(r);
+      float max_value = in_row[0];
+      for (int64_t c = 1; c < a.cols(); ++c)
+        max_value = std::max(max_value, in_row[c]);
+      double total = 0.0;
+      for (int64_t c = 0; c < a.cols(); ++c) {
+        out_row[c] = std::exp(in_row[c] - max_value);
+        total += out_row[c];
+      }
+      const float inv = static_cast<float>(1.0 / total);
+      for (int64_t c = 0; c < a.cols(); ++c) out_row[c] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / total);
-    for (int64_t c = 0; c < a.cols(); ++c) out_row[c] *= inv;
-  }
+  });
   return out;
 }
 

@@ -6,14 +6,22 @@
 #include <string>
 #include <vector>
 
+#include "src/core/parallel.h"
+
 namespace adpa {
 
 class Rng;
 
+/// Minimum elements per ParallelFor chunk for O(1)-per-element loops, sized
+/// so a chunk amortizes the pool hand-off (~16K scalar ops).
+inline constexpr int64_t kElementwiseGrain = 1 << 14;
+
 /// Dense row-major float32 matrix. This is the single dense container used
 /// by the autograd engine, the models, and the data generators. Kernels are
-/// BLAS-free but cache-aware (ikj gemm ordering); for the graph sizes this
-/// library targets that is sufficient and keeps the build dependency-free.
+/// BLAS-free but cache-blocked and multithreaded via `ParallelFor`
+/// (src/core/parallel.h): work is always partitioned over *output*
+/// elements, so every kernel produces bitwise-identical results for any
+/// thread count.
 class Matrix {
  public:
   /// Empty 0x0 matrix.
@@ -58,17 +66,35 @@ class Matrix {
   /// Sets every entry to `value`.
   void Fill(float value);
 
-  /// Elementwise in-place updates.
+  /// Elementwise in-place updates (parallel; each element is written by
+  /// exactly one thread, so results are thread-count independent).
   void AddInPlace(const Matrix& other);
   void SubInPlace(const Matrix& other);
   void MulInPlace(const Matrix& other);  // Hadamard
   void ScaleInPlace(float factor);
   void AddScaledInPlace(const Matrix& other, float factor);  // this += f*other
 
-  /// Applies `fn` to every entry in place.
+  /// Applies `fn` to every entry in place. Pays one type-erased
+  /// std::function call per element; hot paths should use ApplyFn.
   void Apply(const std::function<float(float)>& fn);
 
-  /// Frobenius-norm and reduction helpers.
+  /// Templated Apply: `fn` is inlined into the elementwise loop (no
+  /// per-element call overhead) and the loop runs in parallel. `fn` must be
+  /// a pure elementwise map (no shared mutable state).
+  template <typename Fn>
+  void ApplyFn(Fn&& fn) {
+    float* values = data_.data();
+    ParallelFor(0, size(), kElementwiseGrain,
+                [values, &fn](int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    values[i] = fn(values[i]);
+                  }
+                });
+  }
+
+  /// Reduction helpers. Intentionally serial: a parallel reduction's
+  /// combine order would depend on the chunk layout and break the
+  /// "bitwise identical for any thread count" contract.
   float SumAll() const;
   float MaxAll() const;
   float FrobeniusNorm() const;
@@ -92,8 +118,27 @@ class Matrix {
   std::vector<float> data_;
 };
 
-/// out = a * b. Shapes must agree (a.cols == b.rows).
+/// Dense matmul family.
+///
+/// Precision contract: every member accumulates each output element in a
+/// `double`, scanning the contraction dimension in increasing index order,
+/// with a single final round to float32. All members therefore share one
+/// numerical behaviour (the seed kernels mixed float and double
+/// accumulators), and because work is partitioned over disjoint *output*
+/// panels, multithreaded results are bitwise identical to single-threaded
+/// ones for any thread count.
+
+/// out = a * b. Shapes must agree (a.cols == b.rows). Cache-blocked,
+/// register-tiled kernel: both operands are widened to double once (per
+/// column slab for `b`), then a 4x32 micro-kernel runs pure double FMAs.
 Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// out = a * b for an `a` with many exact zeros (masked/one-hot rows):
+/// row-major traversal that skips the inner loop whenever a(i,p) == 0.
+/// Bitwise-identical to MatMul on finite inputs (a zero term contributes
+/// exactly nothing to a double accumulator); prefer it only when `a` is
+/// sparse enough that branch savings beat the blocked kernel.
+Matrix MatMulSparseA(const Matrix& a, const Matrix& b);
 
 /// out = aᵀ * b, computed without materializing aᵀ.
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
@@ -114,7 +159,7 @@ Matrix ConcatCols(const std::vector<Matrix>& parts);
 /// Broadcasts a 1 x cols row vector over every row of `a` (addition).
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& row);
 
-/// Row-wise softmax.
+/// Row-wise softmax (parallel over rows; per-row math unchanged).
 Matrix SoftmaxRows(const Matrix& a);
 
 /// True when all entries differ by at most `tolerance`.

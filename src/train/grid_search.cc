@@ -1,5 +1,6 @@
 #include "src/train/grid_search.h"
 
+#include "src/core/parallel.h"
 #include "src/core/random.h"
 #include "src/models/factory.h"
 
@@ -29,40 +30,71 @@ Result<GridSearchResult> GridSearch(const std::string& model_name,
                                                              .num_layers}
                                       : space.num_layers;
 
-  GridSearchResult result;
-  uint64_t trial_index = 0;
+  // Flatten the grid so trials can be dispatched by index. Trial order (and
+  // the per-trial RNG seed derived from it) matches the nested-loop order
+  // the search has always used.
+  struct TrialSpec {
+    float lr;
+    float dropout;
+    int steps;
+    int depth;
+  };
+  std::vector<TrialSpec> specs;
+  specs.reserve(lrs.size() * dropouts.size() * steps.size() * layers.size());
   for (float lr : lrs) {
     for (float dropout : dropouts) {
       for (int k : steps) {
         for (int depth : layers) {
-          ModelConfig config = base_config;
-          config.dropout = dropout;
-          config.propagation_steps = k;
-          config.num_layers = depth;
-          TrainConfig tc = train_config;
-          tc.learning_rate = lr;
-          Rng rng(seed * 1000003 + trial_index * 7919 + 13);
-          Result<ModelPtr> model =
-              CreateModel(model_name, dataset, config, &rng);
-          if (!model.ok()) return model.status();
-          const TrainResult trained =
-              TrainModel(model->get(), dataset, tc, &rng);
-          GridTrial trial;
-          trial.model_config = config;
-          trial.learning_rate = lr;
-          trial.val_accuracy = trained.best_val_accuracy;
-          trial.test_accuracy = trained.test_accuracy;
-          result.trials.push_back(trial);
-          if (trial.val_accuracy > result.best.val_accuracy) {
-            result.best = trial;
-          }
-          ++trial_index;
+          specs.push_back({lr, dropout, k, depth});
         }
       }
     }
   }
-  if (result.trials.empty()) {
+  if (specs.empty()) {
     return Status::InvalidArgument("empty search space");
+  }
+
+  // Trials are independent (own RNG, own model) and write disjoint slots,
+  // so they run in parallel; the kernels inside each trial then run inline
+  // (nested), which by the ParallelFor contract produces the same bits as
+  // running them on the full pool. Failures are collected per slot and the
+  // first one in trial order is reported, as the serial loop did.
+  GridSearchResult result;
+  result.trials.resize(specs.size());
+  std::vector<Status> failures(specs.size(), Status::OK());
+  const int64_t num_trials = static_cast<int64_t>(specs.size());
+  ParallelFor(0, num_trials, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t trial_index = begin; trial_index < end; ++trial_index) {
+      const TrialSpec& spec = specs[trial_index];
+      ModelConfig config = base_config;
+      config.dropout = spec.dropout;
+      config.propagation_steps = spec.steps;
+      config.num_layers = spec.depth;
+      TrainConfig tc = train_config;
+      tc.learning_rate = spec.lr;
+      Rng rng(seed * 1000003 + static_cast<uint64_t>(trial_index) * 7919 + 13);
+      Result<ModelPtr> model = CreateModel(model_name, dataset, config, &rng);
+      if (!model.ok()) {
+        failures[trial_index] = model.status();
+        continue;
+      }
+      const TrainResult trained = TrainModel(model->get(), dataset, tc, &rng);
+      GridTrial& trial = result.trials[trial_index];
+      trial.model_config = config;
+      trial.learning_rate = spec.lr;
+      trial.val_accuracy = trained.best_val_accuracy;
+      trial.test_accuracy = trained.test_accuracy;
+    }
+  });
+  for (const Status& status : failures) {
+    ADPA_RETURN_IF_ERROR(status);
+  }
+  // Winner selection stays serial and in trial order (strict >), so ties
+  // resolve exactly as in the sequential search.
+  for (const GridTrial& trial : result.trials) {
+    if (trial.val_accuracy > result.best.val_accuracy) {
+      result.best = trial;
+    }
   }
   return result;
 }

@@ -17,6 +17,7 @@
 
 #include "src/amud/amud.h"
 #include "src/core/flags.h"
+#include "src/core/parallel.h"
 #include "src/core/random.h"
 #include "src/core/strings.h"
 #include "src/data/benchmarks.h"
@@ -41,7 +42,9 @@ int Usage() {
                "  analyze  --in=<file>\n"
                "  train    --in=<file> --model=<name> [--undirect]\n"
                "           [--epochs=N --hidden=N --steps=N --order=N "
-               "--lr=F --seed=N]\n");
+               "--lr=F --seed=N]\n"
+               "  any command also accepts --threads=N (0 = auto); results\n"
+               "  are independent of the thread count\n");
   return 2;
 }
 
@@ -141,6 +144,10 @@ int Main(int argc, char** argv) {
   const std::string command = argv[1];
   Flags flags;
   if (!flags.Parse(argc - 1, argv + 1)) return Usage();
+  // 0 = auto (ADPA_NUM_THREADS env var, then hardware concurrency).
+  if (flags.Has("threads")) {
+    SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
+  }
   if (command == "generate") return Generate(flags);
   if (command == "analyze") return Analyze(flags);
   if (command == "train") return Train(flags);

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Runs the kernel micro-bench suite and records its JSON report so the perf
+# trajectory is tracked in-repo across PRs (see BENCH_kernels.json).
+#
+# usage: tools/bench_to_json.sh [build-dir] [out-file]
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_FILE="${2:-BENCH_kernels.json}"
+BENCH_BIN="$BUILD_DIR/bench/bench_kernels"
+
+if [ ! -x "$BENCH_BIN" ]; then
+  echo "error: $BENCH_BIN not built (run: cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+"$BENCH_BIN" \
+  --benchmark_filter='BM_(MatMulSeedKernel512|MatMulBlocked512|SpMM|DenseMatMul|DpPropagation)' \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json > "$OUT_FILE"
+
+echo "wrote $OUT_FILE"
