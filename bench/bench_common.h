@@ -1,6 +1,4 @@
-#ifndef ADPA_BENCH_BENCH_COMMON_H_
-#define ADPA_BENCH_BENCH_COMMON_H_
-
+#pragma once
 // Shared plumbing for the per-table/figure bench binaries. Every binary
 // accepts:
 //   --repeats=N   seeded repetitions per cell (default varies per bench)
@@ -123,4 +121,3 @@ inline std::vector<double> AverageRanks(
 }  // namespace bench
 }  // namespace adpa
 
-#endif  // ADPA_BENCH_BENCH_COMMON_H_

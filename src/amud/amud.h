@@ -1,6 +1,4 @@
-#ifndef ADPA_AMUD_AMUD_H_
-#define ADPA_AMUD_AMUD_H_
-
+#pragma once
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -94,4 +92,3 @@ Digraph ApplyAmudDecision(const Digraph& graph, AmudDecision decision);
 
 }  // namespace adpa
 
-#endif  // ADPA_AMUD_AMUD_H_

@@ -1,6 +1,4 @@
-#ifndef ADPA_CORE_FLAGS_H_
-#define ADPA_CORE_FLAGS_H_
-
+#pragma once
 #include <cstdint>
 #include <map>
 #include <string>
@@ -31,4 +29,3 @@ class Flags {
 
 }  // namespace adpa
 
-#endif  // ADPA_CORE_FLAGS_H_

@@ -1,5 +1,4 @@
-#ifndef ADPA_CORE_LOGGING_H_
-#define ADPA_CORE_LOGGING_H_
+#pragma once
 
 #include <cstdlib>
 #include <iostream>
@@ -58,4 +57,49 @@ class FatalMessageStream {
     ADPA_CHECK(_adpa_st.ok()) << _adpa_st.ToString();                \
   } while (false)
 
-#endif  // ADPA_CORE_LOGGING_H_
+/// Debug-only invariant checks. ADPA_DCHECK* behave exactly like their
+/// ADPA_CHECK* counterparts when enabled and compile to nothing (the
+/// condition is parsed but never evaluated) otherwise, so they are free to
+/// sit on hot paths: per-element bounds checks, per-step shape checks, CSR
+/// well-formedness sweeps.
+///
+/// Enabled when NDEBUG is not defined (debug builds) or when
+/// ADPA_ENABLE_DCHECKS is defined (the ADPA_FORCE_DCHECKS CMake option; the
+/// sanitizer presets turn it on so TSan/ASan/UBSan runs exercise every
+/// invariant at full strength).
+#if !defined(NDEBUG) || defined(ADPA_ENABLE_DCHECKS)
+#define ADPA_DCHECK_IS_ON 1
+#else
+#define ADPA_DCHECK_IS_ON 0
+#endif
+
+#if ADPA_DCHECK_IS_ON
+#define ADPA_DCHECK(condition) ADPA_CHECK(condition)
+#define ADPA_DCHECK_EQ(a, b) ADPA_CHECK_EQ(a, b)
+#define ADPA_DCHECK_NE(a, b) ADPA_CHECK_NE(a, b)
+#define ADPA_DCHECK_LT(a, b) ADPA_CHECK_LT(a, b)
+#define ADPA_DCHECK_LE(a, b) ADPA_CHECK_LE(a, b)
+#define ADPA_DCHECK_GT(a, b) ADPA_CHECK_GT(a, b)
+#define ADPA_DCHECK_GE(a, b) ADPA_CHECK_GE(a, b)
+#define ADPA_DCHECK_OK(expr) ADPA_CHECK_OK(expr)
+#else
+// The `while (false)` keeps the condition (and any streamed message)
+// compiled but dead, so disabled DCHECKs never emit unused-variable
+// warnings and typos still fail to build.
+#define ADPA_DCHECK(condition) \
+  while (false) ADPA_CHECK(condition)
+#define ADPA_DCHECK_EQ(a, b) \
+  while (false) ADPA_CHECK_EQ(a, b)
+#define ADPA_DCHECK_NE(a, b) \
+  while (false) ADPA_CHECK_NE(a, b)
+#define ADPA_DCHECK_LT(a, b) \
+  while (false) ADPA_CHECK_LT(a, b)
+#define ADPA_DCHECK_LE(a, b) \
+  while (false) ADPA_CHECK_LE(a, b)
+#define ADPA_DCHECK_GT(a, b) \
+  while (false) ADPA_CHECK_GT(a, b)
+#define ADPA_DCHECK_GE(a, b) \
+  while (false) ADPA_CHECK_GE(a, b)
+#define ADPA_DCHECK_OK(expr) \
+  while (false) ADPA_CHECK_OK(expr)
+#endif

@@ -1,6 +1,4 @@
-#ifndef ADPA_CORE_PARALLEL_H_
-#define ADPA_CORE_PARALLEL_H_
-
+#pragma once
 #include <cstdint>
 #include <functional>
 #include <utility>
@@ -76,4 +74,3 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
 
 }  // namespace adpa
 
-#endif  // ADPA_CORE_PARALLEL_H_

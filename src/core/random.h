@@ -1,6 +1,4 @@
-#ifndef ADPA_CORE_RANDOM_H_
-#define ADPA_CORE_RANDOM_H_
-
+#pragma once
 #include <cstdint>
 #include <vector>
 
@@ -58,4 +56,3 @@ class Rng {
 
 }  // namespace adpa
 
-#endif  // ADPA_CORE_RANDOM_H_

@@ -1,6 +1,4 @@
-#ifndef ADPA_CORE_STATUS_H_
-#define ADPA_CORE_STATUS_H_
-
+#pragma once
 #include <string>
 #include <utility>
 #include <variant>
@@ -101,4 +99,3 @@ class Result {
     if (!_adpa_status.ok()) return _adpa_status; \
   } while (false)
 
-#endif  // ADPA_CORE_STATUS_H_

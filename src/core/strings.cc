@@ -102,6 +102,10 @@ std::string TablePrinter::ToString() const {
   return out.str();
 }
 
-void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+// TablePrinter is the one sanctioned stdout surface in the library: the
+// bench/example binaries print result tables through it.
+void TablePrinter::Print() const {
+  std::cout << ToString() << std::flush;  // lint:allow(no-direct-io)
+}
 
 }  // namespace adpa

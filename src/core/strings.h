@@ -1,6 +1,4 @@
-#ifndef ADPA_CORE_STRINGS_H_
-#define ADPA_CORE_STRINGS_H_
-
+#pragma once
 #include <string>
 #include <vector>
 
@@ -46,4 +44,3 @@ class TablePrinter {
 
 }  // namespace adpa
 
-#endif  // ADPA_CORE_STRINGS_H_

@@ -1,6 +1,4 @@
-#ifndef ADPA_DATA_BENCHMARKS_H_
-#define ADPA_DATA_BENCHMARKS_H_
-
+#pragma once
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -54,4 +52,3 @@ Result<Dataset> BuildBenchmarkByName(const std::string& name, uint64_t seed,
 
 }  // namespace adpa
 
-#endif  // ADPA_DATA_BENCHMARKS_H_

@@ -1,6 +1,4 @@
-#ifndef ADPA_DATA_DATASET_H_
-#define ADPA_DATA_DATASET_H_
-
+#pragma once
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -37,4 +35,3 @@ struct Dataset {
 
 }  // namespace adpa
 
-#endif  // ADPA_DATA_DATASET_H_

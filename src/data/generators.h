@@ -1,6 +1,4 @@
-#ifndef ADPA_DATA_GENERATORS_H_
-#define ADPA_DATA_GENERATORS_H_
-
+#pragma once
 #include <cstdint>
 #include <string>
 
@@ -78,4 +76,3 @@ Result<Dataset> GenerateDsbm(const DsbmConfig& config);
 
 }  // namespace adpa
 
-#endif  // ADPA_DATA_GENERATORS_H_

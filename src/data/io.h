@@ -1,6 +1,4 @@
-#ifndef ADPA_DATA_IO_H_
-#define ADPA_DATA_IO_H_
-
+#pragma once
 #include <string>
 
 #include "src/core/status.h"
@@ -36,4 +34,3 @@ Result<Dataset> LoadDataset(const std::string& path);
 
 }  // namespace adpa
 
-#endif  // ADPA_DATA_IO_H_

@@ -1,6 +1,4 @@
-#ifndef ADPA_DATA_SPARSITY_H_
-#define ADPA_DATA_SPARSITY_H_
-
+#pragma once
 #include <cstdint>
 
 #include "src/core/status.h"
@@ -29,4 +27,3 @@ Result<Dataset> ReduceTrainLabels(const Dataset& dataset, int64_t per_class,
 
 }  // namespace adpa
 
-#endif  // ADPA_DATA_SPARSITY_H_

@@ -1,6 +1,4 @@
-#ifndef ADPA_DATA_SPLITS_H_
-#define ADPA_DATA_SPLITS_H_
-
+#pragma once
 #include <cstdint>
 #include <vector>
 
@@ -32,4 +30,3 @@ Result<Split> SplitFractions(const std::vector<int64_t>& labels,
 
 }  // namespace adpa
 
-#endif  // ADPA_DATA_SPLITS_H_

@@ -1,6 +1,4 @@
-#ifndef ADPA_GRAPH_ALGORITHMS_H_
-#define ADPA_GRAPH_ALGORITHMS_H_
-
+#pragma once
 #include <cstdint>
 #include <vector>
 
@@ -43,4 +41,3 @@ DegreeStats ComputeDegreeStats(const Digraph& graph);
 
 }  // namespace adpa
 
-#endif  // ADPA_GRAPH_ALGORITHMS_H_

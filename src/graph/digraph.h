@@ -1,6 +1,4 @@
-#ifndef ADPA_GRAPH_DIGRAPH_H_
-#define ADPA_GRAPH_DIGRAPH_H_
-
+#pragma once
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -76,4 +74,3 @@ class Digraph {
 
 }  // namespace adpa
 
-#endif  // ADPA_GRAPH_DIGRAPH_H_

@@ -56,6 +56,9 @@ PatternSet::PatternSet(const SparseMatrix& adjacency, double conv_r,
 }
 
 Matrix PatternSet::ApplyHop(Hop hop, const Matrix& x) const {
+  ADPA_CHECK_EQ(x.rows(), num_nodes())
+      << "DP operand has " << x.rows() << " rows for a " << num_nodes()
+      << "-node pattern set";
   return hop == Hop::kOut ? a_norm_.Multiply(x) : at_norm_.Multiply(x);
 }
 

@@ -1,6 +1,4 @@
-#ifndef ADPA_GRAPH_PATTERNS_H_
-#define ADPA_GRAPH_PATTERNS_H_
-
+#pragma once
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -90,4 +88,3 @@ class PatternSet {
 
 }  // namespace adpa
 
-#endif  // ADPA_GRAPH_PATTERNS_H_

@@ -43,7 +43,49 @@ SparseMatrix SparseMatrix::FromTriplets(int64_t rows, int64_t cols,
     i = j;
   }
   for (int64_t r = 0; r < rows; ++r) out.row_ptr_[r + 1] += out.row_ptr_[r];
+  out.DebugCheckInvariants();
   return out;
+}
+
+SparseMatrix SparseMatrix::FromCsr(int64_t rows, int64_t cols,
+                                   std::vector<int64_t> row_ptr,
+                                   std::vector<int32_t> col_idx,
+                                   std::vector<float> values) {
+  ADPA_CHECK_GE(rows, 0);
+  ADPA_CHECK_GE(cols, 0);
+  ADPA_CHECK_EQ(static_cast<int64_t>(row_ptr.size()), rows + 1);
+  ADPA_CHECK_EQ(col_idx.size(), values.size());
+  SparseMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.row_ptr_ = std::move(row_ptr);
+  out.col_idx_ = std::move(col_idx);
+  out.values_ = std::move(values);
+  out.CheckInvariants();
+  return out;
+}
+
+void SparseMatrix::CheckInvariants() const {
+  ADPA_CHECK_EQ(static_cast<int64_t>(row_ptr_.size()), rows_ + 1);
+  ADPA_CHECK_EQ(row_ptr_.front(), 0);
+  ADPA_CHECK_EQ(row_ptr_.back(), nnz());
+  ADPA_CHECK_EQ(col_idx_.size(), values_.size());
+  // Row pointers are validated in full before any entry is dereferenced:
+  // front == 0, back == nnz, and monotonicity together bound every
+  // row_ptr_[r] into [0, nnz], so the per-row sweep below cannot read out
+  // of range even on hostile input.
+  for (int64_t r = 0; r < rows_; ++r) {
+    ADPA_CHECK_LE(row_ptr_[r], row_ptr_[r + 1])
+        << "row_ptr not monotone at row " << r;
+  }
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      ADPA_CHECK_GE(col_idx_[p], 0) << "negative column in row " << r;
+      ADPA_CHECK_LT(col_idx_[p], cols_) << "column out of range in row " << r;
+      ADPA_CHECK(p == row_ptr_[r] || col_idx_[p - 1] < col_idx_[p])
+          << "columns not strictly increasing in row " << r;
+    }
+  }
 }
 
 SparseMatrix SparseMatrix::Identity(int64_t n) {
@@ -65,6 +107,7 @@ float SparseMatrix::At(int64_t r, int64_t c) const {
 
 Matrix SparseMatrix::Multiply(const Matrix& dense) const {
   ADPA_CHECK_EQ(cols_, dense.rows());
+  DebugCheckInvariants();
   Matrix out(rows_, dense.cols());
   const int64_t f = dense.cols();
   // Each output row depends only on its own CSR row, so partitioning rows
@@ -85,6 +128,7 @@ Matrix SparseMatrix::Multiply(const Matrix& dense) const {
 
 Matrix SparseMatrix::MultiplyTransposed(const Matrix& dense) const {
   ADPA_CHECK_EQ(rows_, dense.rows());
+  DebugCheckInvariants();
   Matrix out(cols_, dense.cols());
   const int64_t f = dense.cols();
   // The serial kernel scatters row r into out[col_idx]; a parallel scatter
@@ -215,16 +259,20 @@ SparseMatrix SparseMatrix::Binarized() const {
 std::vector<float> SparseMatrix::RowSums() const {
   std::vector<float> sums(rows_, 0.0f);
   for (int64_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;  // double accumulator, single final round to float
     for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-      sums[r] += values_[p];
+      acc += values_[p];
     }
+    sums[r] = static_cast<float>(acc);
   }
   return sums;
 }
 
 std::vector<float> SparseMatrix::ColSums() const {
-  std::vector<float> sums(cols_, 0.0f);
-  for (size_t p = 0; p < values_.size(); ++p) sums[col_idx_[p]] += values_[p];
+  std::vector<double> acc(cols_, 0.0);
+  for (size_t p = 0; p < values_.size(); ++p) acc[col_idx_[p]] += values_[p];
+  std::vector<float> sums(cols_);
+  for (int64_t c = 0; c < cols_; ++c) sums[c] = static_cast<float>(acc[c]);
   return sums;
 }
 

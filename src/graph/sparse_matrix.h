@@ -1,10 +1,9 @@
-#ifndef ADPA_GRAPH_SPARSE_MATRIX_H_
-#define ADPA_GRAPH_SPARSE_MATRIX_H_
-
+#pragma once
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/core/logging.h"
 #include "src/tensor/matrix.h"
 
 namespace adpa {
@@ -31,6 +30,16 @@ class SparseMatrix {
   /// Builds from COO triplets. Duplicate (row, col) entries are summed.
   static SparseMatrix FromTriplets(int64_t rows, int64_t cols,
                                    std::vector<Triplet> triplets);
+
+  /// Adopts pre-built CSR arrays (external loaders / serialized operators).
+  /// ADPA_CHECK-validates full well-formedness — row_ptr monotone from 0 to
+  /// nnz, column indices strictly increasing within each row and in
+  /// [0, cols) — and aborts on malformed input; use FromTriplets when the
+  /// input is untrusted enough to deserve coalescing instead.
+  static SparseMatrix FromCsr(int64_t rows, int64_t cols,
+                              std::vector<int64_t> row_ptr,
+                              std::vector<int32_t> col_idx,
+                              std::vector<float> values);
 
   /// Identity of size n.
   static SparseMatrix Identity(int64_t n);
@@ -76,6 +85,17 @@ class SparseMatrix {
   /// Column sums (in-degrees when this is an adjacency matrix).
   std::vector<float> ColSums() const;
 
+  /// Full O(nnz) CSR well-formedness sweep (the class invariants above);
+  /// aborts on violation. DebugCheckInvariants is the DCHECK-gated variant
+  /// constructors use: free in Release, a full sweep under the sanitizer
+  /// presets and debug builds.
+  void CheckInvariants() const;
+  void DebugCheckInvariants() const {
+#if ADPA_DCHECK_IS_ON
+    CheckInvariants();
+#endif
+  }
+
   /// Dense copy; intended for tests and tiny graphs only.
   Matrix ToDense() const;
 
@@ -106,4 +126,3 @@ SparseMatrix AddSelfLoops(const SparseMatrix& a, float weight = 1.0f);
 
 }  // namespace adpa
 
-#endif  // ADPA_GRAPH_SPARSE_MATRIX_H_

@@ -1,6 +1,4 @@
-#ifndef ADPA_METRICS_HOMOPHILY_H_
-#define ADPA_METRICS_HOMOPHILY_H_
-
+#pragma once
 #include <cstdint>
 #include <vector>
 
@@ -55,4 +53,3 @@ HomophilyReport ComputeHomophilyReport(const Digraph& graph,
 
 }  // namespace adpa
 
-#endif  // ADPA_METRICS_HOMOPHILY_H_

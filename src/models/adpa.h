@@ -1,6 +1,4 @@
-#ifndef ADPA_MODELS_ADPA_H_
-#define ADPA_MODELS_ADPA_H_
-
+#pragma once
 #include <string>
 #include <vector>
 
@@ -69,4 +67,3 @@ class AdpaModel : public Model {
 
 }  // namespace adpa
 
-#endif  // ADPA_MODELS_ADPA_H_

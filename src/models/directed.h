@@ -1,6 +1,4 @@
-#ifndef ADPA_MODELS_DIRECTED_H_
-#define ADPA_MODELS_DIRECTED_H_
-
+#pragma once
 #include <string>
 #include <vector>
 
@@ -166,4 +164,3 @@ class A2dugModel : public Model {
 
 }  // namespace adpa
 
-#endif  // ADPA_MODELS_DIRECTED_H_

@@ -1,6 +1,4 @@
-#ifndef ADPA_MODELS_EXTENDED_H_
-#define ADPA_MODELS_EXTENDED_H_
-
+#pragma once
 #include <string>
 #include <vector>
 
@@ -78,4 +76,3 @@ const std::vector<std::string>& ExtendedModelNames();
 
 }  // namespace adpa
 
-#endif  // ADPA_MODELS_EXTENDED_H_

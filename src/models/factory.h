@@ -1,6 +1,4 @@
-#ifndef ADPA_MODELS_FACTORY_H_
-#define ADPA_MODELS_FACTORY_H_
-
+#pragma once
 #include <string>
 #include <vector>
 
@@ -34,4 +32,3 @@ bool IsDirectedModel(const std::string& name);
 
 }  // namespace adpa
 
-#endif  // ADPA_MODELS_FACTORY_H_

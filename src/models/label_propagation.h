@@ -1,6 +1,4 @@
-#ifndef ADPA_MODELS_LABEL_PROPAGATION_H_
-#define ADPA_MODELS_LABEL_PROPAGATION_H_
-
+#pragma once
 #include <cstdint>
 #include <vector>
 
@@ -31,4 +29,3 @@ double LabelPropagationAccuracy(const Dataset& dataset, int steps = 10,
 
 }  // namespace adpa
 
-#endif  // ADPA_MODELS_LABEL_PROPAGATION_H_

@@ -1,6 +1,4 @@
-#ifndef ADPA_MODELS_MODEL_H_
-#define ADPA_MODELS_MODEL_H_
-
+#pragma once
 #include <memory>
 #include <string>
 #include <vector>
@@ -69,4 +67,3 @@ using ModelPtr = std::unique_ptr<Model>;
 
 }  // namespace adpa
 
-#endif  // ADPA_MODELS_MODEL_H_

@@ -1,6 +1,4 @@
-#ifndef ADPA_MODELS_UNDIRECTED_H_
-#define ADPA_MODELS_UNDIRECTED_H_
-
+#pragma once
 #include <string>
 #include <vector>
 
@@ -177,4 +175,3 @@ class JacobiConvModel : public Model {
 
 }  // namespace adpa
 
-#endif  // ADPA_MODELS_UNDIRECTED_H_

@@ -27,6 +27,8 @@ std::shared_ptr<Node> MakeOp(Matrix value,
   node->parents = std::move(parents);
   node->requires_grad = false;
   for (const auto& parent : node->parents) {
+    ADPA_DCHECK(parent != nullptr)
+        << "op node built from an undefined Variable";
     node->requires_grad = node->requires_grad || parent->requires_grad;
   }
   if (node->requires_grad) node->backward = std::move(backward);
@@ -36,6 +38,9 @@ std::shared_ptr<Node> MakeOp(Matrix value,
 }  // namespace
 
 void Node::AccumulateGrad(const Matrix& delta) {
+  ADPA_DCHECK(delta.SameShape(value))
+      << "gradient shape " << delta.rows() << "x" << delta.cols()
+      << " does not match value shape " << value.rows() << "x" << value.cols();
   if (grad.empty()) grad = Matrix(value.rows(), value.cols());
   grad.AddInPlace(delta);
 }
@@ -104,6 +109,9 @@ Variable Scale(const Variable& a, float factor) {
 }
 
 Variable MatMul(const Variable& a, const Variable& b) {
+  ADPA_CHECK_EQ(a.cols(), b.rows())
+      << "MatMul shape mismatch: " << a.rows() << "x" << a.cols() << " @ "
+      << b.rows() << "x" << b.cols();
   auto pa = a.node();
   auto pb = b.node();
   return Variable(MakeOp(
@@ -118,6 +126,9 @@ Variable MatMul(const Variable& a, const Variable& b) {
 }
 
 Variable MatMulTransposeA(const Variable& a, const Variable& b) {
+  ADPA_CHECK_EQ(a.rows(), b.rows())
+      << "MatMulTransposeA shape mismatch: " << a.rows() << "x" << a.cols()
+      << "ᵀ @ " << b.rows() << "x" << b.cols();
   auto pa = a.node();
   auto pb = b.node();
   return Variable(MakeOp(adpa::MatMulTransposeA(a.value(), b.value()),
@@ -155,6 +166,9 @@ Variable AddBias(const Variable& a, const Variable& bias) {
 }
 
 Variable SpMM(const SparseMatrix& a, const Variable& x) {
+  ADPA_CHECK_EQ(a.cols(), x.rows())
+      << "SpMM shape mismatch: " << a.rows() << "x" << a.cols() << " @ "
+      << x.rows() << "x" << x.cols();
   auto px = x.node();
   // The sparse operator is captured by value; CSR vectors are shared via
   // copy-on-write-free vectors, and operators are long-lived in practice.

@@ -1,6 +1,4 @@
-#ifndef ADPA_TENSOR_AUTOGRAD_H_
-#define ADPA_TENSOR_AUTOGRAD_H_
-
+#pragma once
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -135,4 +133,3 @@ void Backward(const Variable& root);
 }  // namespace ag
 }  // namespace adpa
 
-#endif  // ADPA_TENSOR_AUTOGRAD_H_

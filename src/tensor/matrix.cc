@@ -56,6 +56,15 @@ Matrix Matrix::Identity(int64_t n) {
   return out;
 }
 
+void Matrix::CheckFinite(const char* context) const {
+  const float* values = data_.data();
+  for (int64_t i = 0; i < size(); ++i) {
+    ADPA_CHECK(std::isfinite(values[i]))
+        << context << ": non-finite value " << values[i] << " at ("
+        << i / cols_ << ", " << i % cols_ << ") of " << rows_ << "x" << cols_;
+  }
+}
+
 float& Matrix::CheckedAt(int64_t r, int64_t c) {
   ADPA_CHECK_GE(r, 0);
   ADPA_CHECK_LT(r, rows_);

@@ -1,11 +1,10 @@
-#ifndef ADPA_TENSOR_MATRIX_H_
-#define ADPA_TENSOR_MATRIX_H_
-
+#pragma once
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "src/core/logging.h"
 #include "src/core/parallel.h"
 
 namespace adpa {
@@ -52,16 +51,30 @@ class Matrix {
   int64_t size() const { return rows_ * cols_; }
   bool empty() const { return rows_ == 0 || cols_ == 0; }
 
-  float& At(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
-  float At(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+  /// Unchecked in Release; debug / sanitizer builds (ADPA_DCHECK_IS_ON)
+  /// bounds-check every access.
+  float& At(int64_t r, int64_t c) {
+    DcheckIndex(r, c);
+    return data_[r * cols_ + c];
+  }
+  float At(int64_t r, int64_t c) const {
+    DcheckIndex(r, c);
+    return data_[r * cols_ + c];
+  }
 
   /// Bounds-checked accessor (aborts on violation); hot paths use At().
   float& CheckedAt(int64_t r, int64_t c);
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  float* Row(int64_t r) { return data_.data() + r * cols_; }
-  const float* Row(int64_t r) const { return data_.data() + r * cols_; }
+  float* Row(int64_t r) {
+    DcheckRow(r);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(int64_t r) const {
+    DcheckRow(r);
+    return data_.data() + r * cols_;
+  }
 
   /// Sets every entry to `value`.
   void Fill(float value);
@@ -112,7 +125,25 @@ class Matrix {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 
+  /// Aborts if any entry is NaN or ±Inf; `context` names the tensor in the
+  /// failure message. Always compiled in — the trainer exposes it behind
+  /// TrainConfig::check_finite so numerical-drift hunts can gate every step
+  /// without a rebuild.
+  void CheckFinite(const char* context) const;
+
  private:
+  void DcheckIndex(int64_t r, int64_t c) const {
+    ADPA_DCHECK_GE(r, 0);
+    ADPA_DCHECK_LT(r, rows_);
+    ADPA_DCHECK_GE(c, 0);
+    ADPA_DCHECK_LT(c, cols_);
+  }
+  // Row(rows()) is allowed as an end pointer for [Row(r), Row(r+1)) spans.
+  void DcheckRow(int64_t r) const {
+    ADPA_DCHECK_GE(r, 0);
+    ADPA_DCHECK_LE(r, rows_);
+  }
+
   int64_t rows_;
   int64_t cols_;
   std::vector<float> data_;
@@ -167,4 +198,3 @@ bool AllClose(const Matrix& a, const Matrix& b, float tolerance = 1e-5f);
 
 }  // namespace adpa
 
-#endif  // ADPA_TENSOR_MATRIX_H_

@@ -1,6 +1,4 @@
-#ifndef ADPA_TENSOR_NN_H_
-#define ADPA_TENSOR_NN_H_
-
+#pragma once
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -73,4 +71,3 @@ class Mlp {
 }  // namespace nn
 }  // namespace adpa
 
-#endif  // ADPA_TENSOR_NN_H_

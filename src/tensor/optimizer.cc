@@ -21,6 +21,8 @@ void Sgd::Step() {
     if (p.grad().empty()) continue;
     Matrix* value = p.mutable_value();
     const Matrix& grad = p.grad();
+    ADPA_DCHECK(grad.SameShape(*value))
+        << "parameter/gradient shape mismatch in Sgd::Step";
     for (int64_t i = 0; i < value->size(); ++i) {
       const float g = grad.data()[i] + weight_decay_ * value->data()[i];
       value->data()[i] -= learning_rate_ * g;
@@ -57,6 +59,12 @@ void Adam::Step() {
     const Matrix& grad = p.grad();
     Matrix& m = first_moment_[k];
     Matrix& v = second_moment_[k];
+    ADPA_DCHECK(grad.SameShape(*value))
+        << "parameter/gradient shape mismatch in Adam::Step";
+    ADPA_DCHECK(m.SameShape(*value))
+        << "Adam moment shape diverged from its parameter (the parameter "
+           "matrix was reshaped after optimizer construction)";
+    ADPA_DCHECK(v.SameShape(*value));
     for (int64_t i = 0; i < value->size(); ++i) {
       const float g = grad.data()[i] + weight_decay_ * value->data()[i];
       m.data()[i] = beta1_ * m.data()[i] + (1.0f - beta1_) * g;

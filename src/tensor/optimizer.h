@@ -1,6 +1,4 @@
-#ifndef ADPA_TENSOR_OPTIMIZER_H_
-#define ADPA_TENSOR_OPTIMIZER_H_
-
+#pragma once
 #include <vector>
 
 #include "src/tensor/autograd.h"
@@ -66,4 +64,3 @@ class Adam : public Optimizer {
 
 }  // namespace adpa
 
-#endif  // ADPA_TENSOR_OPTIMIZER_H_

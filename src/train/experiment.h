@@ -1,6 +1,4 @@
-#ifndef ADPA_TRAIN_EXPERIMENT_H_
-#define ADPA_TRAIN_EXPERIMENT_H_
-
+#pragma once
 #include <functional>
 #include <string>
 #include <vector>
@@ -45,4 +43,3 @@ bool ShouldUndirectInput(const std::string& model_name);
 
 }  // namespace adpa
 
-#endif  // ADPA_TRAIN_EXPERIMENT_H_

@@ -1,6 +1,4 @@
-#ifndef ADPA_TRAIN_GRID_SEARCH_H_
-#define ADPA_TRAIN_GRID_SEARCH_H_
-
+#pragma once
 #include <string>
 #include <vector>
 
@@ -50,4 +48,3 @@ Result<GridSearchResult> GridSearch(const std::string& model_name,
 
 }  // namespace adpa
 
-#endif  // ADPA_TRAIN_GRID_SEARCH_H_

@@ -44,6 +44,13 @@ TrainResult TrainModel(Model* model, const Dataset& dataset,
         ag::MaskedCrossEntropy(logits, dataset.labels, dataset.train_idx);
     ag::Backward(loss);
     optimizer.Step();
+    if (config.check_finite) {
+      loss.value().CheckFinite("training loss");
+      logits.value().CheckFinite("training logits");
+      for (const ag::Variable& p : model->Parameters()) {
+        p.value().CheckFinite("parameter after optimizer step");
+      }
+    }
 
     // Evaluation pass (no dropout).
     ag::Variable eval_logits = model->Forward(/*training=*/false, rng);

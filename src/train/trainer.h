@@ -1,6 +1,4 @@
-#ifndef ADPA_TRAIN_TRAINER_H_
-#define ADPA_TRAIN_TRAINER_H_
-
+#pragma once
 #include <cstdint>
 #include <vector>
 
@@ -22,6 +20,11 @@ struct TrainConfig {
   float weight_decay = 5e-4f;
   /// Record per-epoch validation accuracy / training loss (Fig. 5 curves).
   bool record_curves = false;
+  /// Abort (ADPA_CHECK) on the first NaN/Inf in the training loss, logits,
+  /// or any parameter after an optimizer step. Off by default — it adds a
+  /// full scan of every checked tensor per epoch — but invaluable when
+  /// hunting silent numerical drift (adpa_cli --check_finite).
+  bool check_finite = false;
 };
 
 /// Outcome of one training run. `test_accuracy` is measured at the epoch
@@ -48,4 +51,3 @@ TrainResult TrainModel(Model* model, const Dataset& dataset,
 
 }  // namespace adpa
 
-#endif  // ADPA_TRAIN_TRAINER_H_

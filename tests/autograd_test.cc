@@ -265,5 +265,29 @@ TEST(AutogradTest, DiamondGraphAccumulatesBothPaths) {
   EXPECT_TRUE(AllClose(p.grad(), Matrix(2, 3, 2.0f)));
 }
 
+// Shape checks fire at node construction, not first use, so a bad graph
+// aborts where it is built.
+class AutogradDeathTest : public ::testing::Test {
+ protected:
+  AutogradDeathTest() {
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  }
+};
+
+TEST_F(AutogradDeathTest, OpConstructionRejectsShapeMismatches) {
+  ag::Variable a = ag::Parameter(Matrix(2, 3));
+  ag::Variable b = ag::Parameter(Matrix(4, 2));
+  EXPECT_DEATH(ag::MatMul(a, b), "MatMul shape mismatch");
+  EXPECT_DEATH(ag::MatMulTransposeA(a, b), "MatMulTransposeA shape mismatch");
+  EXPECT_DEATH(ag::Add(a, b), "Check failed");
+  EXPECT_DEATH(ag::AddBias(a, ag::Parameter(Matrix(1, 2))), "Check failed");
+}
+
+TEST_F(AutogradDeathTest, SpMMRejectsOperandWithWrongRowCount) {
+  SparseMatrix op = SparseMatrix::Identity(3);
+  ag::Variable x = ag::Parameter(Matrix(4, 2));
+  EXPECT_DEATH(ag::SpMM(op, x), "SpMM shape mismatch");
+}
+
 }  // namespace
 }  // namespace adpa

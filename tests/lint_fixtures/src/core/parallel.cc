@@ -1,0 +1,8 @@
+// Fixture: src/core/parallel.cc is the one place raw threads are legal —
+// the parallel-primitives rule must not fire here.
+#include <thread>
+
+void PoolWorker() {
+  std::thread worker([] {});
+  worker.join();
+}

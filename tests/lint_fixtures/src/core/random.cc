@@ -1,0 +1,8 @@
+// Fixture: src/core/random.cc is the one place entropy sources are legal —
+// the deterministic-randomness rule must not fire here.
+#include <random>
+
+unsigned HardwareEntropy() {
+  std::random_device device;
+  return device();
+}

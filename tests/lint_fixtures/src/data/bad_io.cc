@@ -1,0 +1,14 @@
+// Fixture: direct stdout writes outside src/core/logging.* and the CLI.
+#include <cstdio>
+#include <iostream>
+
+void PrintProgress(int epoch) {
+  std::cout << "epoch " << epoch << "\n";
+  printf("epoch %d\n", epoch);
+}
+
+// These must NOT be flagged: stderr and bounded formatting are allowed.
+void Diagnostics(char* buffer, unsigned long size) {
+  std::fprintf(stderr, "warning\n");
+  std::snprintf(buffer, size, "%d", 42);
+}

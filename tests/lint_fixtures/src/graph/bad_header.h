@@ -1,0 +1,7 @@
+#ifndef ADPA_TESTS_LINT_FIXTURES_BAD_HEADER_H_
+#define ADPA_TESTS_LINT_FIXTURES_BAD_HEADER_H_
+
+// Fixture: include-guard-style header (missing the required pragma).
+inline int Answer() { return 42; }
+
+#endif  // ADPA_TESTS_LINT_FIXTURES_BAD_HEADER_H_

@@ -1,0 +1,20 @@
+// Fixture: every violation here carries a lint:allow escape hatch, so the
+// file must produce zero findings.
+#include <thread>  // lint:allow(parallel-primitives)
+#include <iostream>
+
+void SpawnBlessed() {
+  // lint:allow(parallel-primitives)
+  std::thread worker([] {});
+  worker.join();  // plain code after an allowed line stays unflagged
+}
+
+void PrintBlessed() {
+  std::cout << "sanctioned\n";  // lint:allow(no-direct-io)
+}
+
+float BlessedSum(const float* values, long count) {
+  float sum = 0.0f;  // lint:allow(float-accumulator)
+  for (long i = 0; i < count; ++i) sum += values[i];
+  return sum;
+}

@@ -1,0 +1,15 @@
+// Fixture: non-deterministic / wall-clock randomness outside
+// src/core/random.*.
+#include <chrono>
+#include <random>
+
+unsigned NondeterministicSeed() {
+  std::random_device device;
+  return device();
+}
+
+int LibcRand() { return rand() % 7; }
+
+long WallClockSeed() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

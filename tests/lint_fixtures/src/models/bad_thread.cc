@@ -1,0 +1,7 @@
+// Fixture: raw threading primitives outside src/core/parallel.*.
+#include <thread>
+
+void SpawnWorker() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,17 @@
+// Fixture: iteration over an unordered container in a result-affecting
+// path (hash order is implementation-defined).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+double SumScores(const std::unordered_map<int64_t, double>& by_node) {
+  std::unordered_map<int64_t, double> scores = by_node;
+  double total = 0.0;
+  for (const auto& entry : scores) total += entry.second;
+  return total;
+}
+
+int64_t CountDistinct(const std::unordered_set<int64_t> ids) {
+  // Membership tests and size() are fine; only iteration is order-sensitive.
+  return static_cast<int64_t>(ids.size());
+}

@@ -1,0 +1,19 @@
+// Fixture: idiomatic code that must produce zero findings — double
+// accumulators, map iteration over an *ordered* container, fprintf to
+// stderr, and a mention of std::thread inside a comment only.
+#include <cstdio>
+#include <map>
+
+double SumAll(const float* values, long count) {
+  double total = 0.0;
+  for (long i = 0; i < count; ++i) total += values[i];
+  return total;
+}
+
+double SumOrdered(const std::map<int, double>& by_key) {
+  double total = 0.0;
+  for (const auto& entry : by_key) total += entry.second;
+  return total;
+}
+
+void Warn() { std::fprintf(stderr, "recoverable\n"); }

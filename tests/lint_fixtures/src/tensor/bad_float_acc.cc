@@ -1,0 +1,12 @@
+// Fixture: scalar float accumulator in kernel code.
+float SumAll(const float* values, long count) {
+  float sum = 0.0f;
+  for (long i = 0; i < count; ++i) sum += values[i];
+  return sum;
+}
+
+float Dot(const float* a, const float* b, long count) {
+  float dot_acc{};
+  for (long i = 0; i < count; ++i) dot_acc += a[i] * b[i];
+  return dot_acc;
+}

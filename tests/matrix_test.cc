@@ -1,6 +1,7 @@
 // Tests for the dense Matrix kernels against hand-computed references.
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -199,6 +200,80 @@ INSTANTIATE_TEST_SUITE_P(Shapes, MatMulShapeTest,
                                            std::make_tuple(7, 1, 5),
                                            std::make_tuple(16, 16, 16),
                                            std::make_tuple(5, 31, 2)));
+
+// Invariant-enforcement coverage: shape-mismatched ops must hit ADPA_CHECK
+// and abort, the DCHECK bounds layer must fire when compiled in, and the
+// CheckFinite guard must catch NaN/Inf. The "threadsafe" style re-executes
+// the test binary for the child, which is the only style that is reliable
+// under the sanitizer presets.
+class MatrixDeathTest : public ::testing::Test {
+ protected:
+  MatrixDeathTest() {
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  }
+};
+
+TEST_F(MatrixDeathTest, MatMulInnerDimensionMismatchAborts) {
+  Matrix a(2, 3);
+  Matrix b(4, 2);
+  EXPECT_DEATH(MatMul(a, b), "Check failed");
+  EXPECT_DEATH(MatMulSparseA(a, b), "Check failed");
+}
+
+TEST_F(MatrixDeathTest, TransposeKernelShapeMismatchAborts) {
+  Matrix a(2, 3);
+  Matrix b(4, 5);
+  EXPECT_DEATH(MatMulTransposeA(a, b), "Check failed");  // needs a.rows == b.rows
+  EXPECT_DEATH(MatMulTransposeB(a, b), "Check failed");  // needs a.cols == b.cols
+}
+
+TEST_F(MatrixDeathTest, ElementwiseShapeMismatchAborts) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  EXPECT_DEATH(a.AddInPlace(b), "Check failed");
+  EXPECT_DEATH(Sub(a, b), "Check failed");
+  EXPECT_DEATH(Hadamard(a, b), "Check failed");
+}
+
+TEST_F(MatrixDeathTest, BroadcastAndConcatShapeMismatchAborts) {
+  Matrix a(2, 3);
+  EXPECT_DEATH(AddRowBroadcast(a, Matrix(2, 3)), "Check failed");
+  EXPECT_DEATH(AddRowBroadcast(a, Matrix(1, 2)), "Check failed");
+  EXPECT_DEATH(ConcatCols(a, Matrix(3, 3)), "Check failed");
+}
+
+TEST_F(MatrixDeathTest, SliceAndCheckedAtOutOfRangeAborts) {
+  Matrix a(2, 3);
+  EXPECT_DEATH(a.SliceRows(0, 3), "Check failed");
+  EXPECT_DEATH(a.SliceRows(-1, 2), "Check failed");
+  EXPECT_DEATH(a.CheckedAt(2, 0), "Check failed");
+  EXPECT_DEATH(a.CheckedAt(0, -1), "Check failed");
+}
+
+TEST_F(MatrixDeathTest, DcheckedAtCatchesOutOfBoundsWhenEnabled) {
+#if ADPA_DCHECK_IS_ON
+  Matrix a(2, 3);
+  EXPECT_DEATH(a.At(2, 0), "Check failed");
+  EXPECT_DEATH(a.At(0, 3), "Check failed");
+  EXPECT_DEATH(a.Row(3), "Check failed");
+#else
+  GTEST_SKIP() << "ADPA_DCHECK compiled out (Release without "
+                  "ADPA_FORCE_DCHECKS)";
+#endif
+}
+
+TEST_F(MatrixDeathTest, CheckFiniteCatchesNanAndInf) {
+  Matrix ok = Matrix::FromRows({{1.0f, -2.0f}, {0.0f, 3.5f}});
+  ok.CheckFinite("ok");  // finite data must pass silently
+
+  Matrix with_nan = ok;
+  with_nan.At(1, 0) = std::nanf("");
+  EXPECT_DEATH(with_nan.CheckFinite("grad"), "grad: non-finite");
+
+  Matrix with_inf = ok;
+  with_inf.At(0, 1) = std::numeric_limits<float>::infinity();
+  EXPECT_DEATH(with_inf.CheckFinite("logits"), "logits: non-finite");
+}
 
 }  // namespace
 }  // namespace adpa

@@ -141,7 +141,9 @@ TEST(NormalizeTest, RowNormalizationIsRowStochastic) {
   SparseMatrix norm = NormalizeRow(a);
   const auto sums = norm.RowSums();
   for (int64_t r = 0; r < 10; ++r) {
-    if (a.RowSums()[r] > 0) EXPECT_NEAR(sums[r], 1.0f, 1e-5f);
+    if (a.RowSums()[r] > 0) {
+      EXPECT_NEAR(sums[r], 1.0f, 1e-5f);
+    }
   }
 }
 
@@ -199,6 +201,72 @@ INSTANTIATE_TEST_SUITE_P(Shapes, SparseKernelSweep,
                                            std::make_tuple(10, 20, 50),
                                            std::make_tuple(20, 10, 150),
                                            std::make_tuple(32, 32, 32)));
+
+TEST(SparseCsrTest, FromCsrAcceptsWellFormedInput) {
+  // 2x3: row 0 = {(0,1), (2,3)}, row 1 = {(1,5)}.
+  SparseMatrix m = SparseMatrix::FromCsr(2, 3, {0, 2, 3}, {0, 2, 1},
+                                         {1.0f, 3.0f, 5.0f});
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_FLOAT_EQ(m.At(0, 2), 3.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 1), 5.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 0), 0.0f);
+  m.CheckInvariants();  // explicit sweep must also pass
+}
+
+// Malformed-CSR coverage: every well-formedness clause must be enforced by
+// an ADPA_CHECK in FromCsr / CheckInvariants.
+class SparseCsrDeathTest : public ::testing::Test {
+ protected:
+  SparseCsrDeathTest() {
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  }
+};
+
+TEST_F(SparseCsrDeathTest, BadRowPointersAbort) {
+  // Wrong length.
+  EXPECT_DEATH(SparseMatrix::FromCsr(2, 2, {0, 1}, {0}, {1.0f}),
+               "Check failed");
+  // Does not start at zero.
+  EXPECT_DEATH(SparseMatrix::FromCsr(2, 2, {1, 1, 1}, {}, {}),
+               "Check failed");
+  // Not monotone (front/back are consistent, so this isolates the check).
+  EXPECT_DEATH(SparseMatrix::FromCsr(2, 2, {0, 3, 2}, {0, 1}, {1.0f, 1.0f}),
+               "row_ptr not monotone");
+  // Last entry disagrees with nnz.
+  EXPECT_DEATH(SparseMatrix::FromCsr(2, 2, {0, 1, 3}, {0, 1}, {1.0f, 1.0f}),
+               "Check failed");
+}
+
+TEST_F(SparseCsrDeathTest, OutOfRangeColumnIndicesAbort) {
+  EXPECT_DEATH(SparseMatrix::FromCsr(1, 2, {0, 1}, {2}, {1.0f}),
+               "column out of range");
+  EXPECT_DEATH(SparseMatrix::FromCsr(1, 2, {0, 1}, {-1}, {1.0f}),
+               "negative column");
+}
+
+TEST_F(SparseCsrDeathTest, UnsortedOrDuplicateColumnsAbort) {
+  EXPECT_DEATH(
+      SparseMatrix::FromCsr(1, 3, {0, 2}, {2, 0}, {1.0f, 1.0f}),
+      "columns not strictly increasing");
+  EXPECT_DEATH(
+      SparseMatrix::FromCsr(1, 3, {0, 2}, {1, 1}, {1.0f, 1.0f}),
+      "columns not strictly increasing");
+}
+
+TEST_F(SparseCsrDeathTest, FromTripletsRejectsOutOfRangeEntries) {
+  EXPECT_DEATH(SparseMatrix::FromTriplets(2, 2, {{2, 0, 1.0f}}),
+               "Check failed");
+  EXPECT_DEATH(SparseMatrix::FromTriplets(2, 2, {{0, -1, 1.0f}}),
+               "Check failed");
+}
+
+TEST_F(SparseCsrDeathTest, KernelShapeMismatchesAbort) {
+  SparseMatrix a = SparseMatrix::FromCsr(2, 3, {0, 1, 1}, {0}, {1.0f});
+  EXPECT_DEATH(a.Multiply(Matrix(2, 4)), "Check failed");
+  EXPECT_DEATH(a.MultiplyTransposed(Matrix(3, 4)), "Check failed");
+  EXPECT_DEATH(a.MultiplySparse(SparseMatrix::Identity(2)), "Check failed");
+  EXPECT_DEATH(a.AddSparse(SparseMatrix::Identity(3)), "Check failed");
+}
 
 }  // namespace
 }  // namespace adpa

@@ -42,7 +42,7 @@ int Usage() {
                "  analyze  --in=<file>\n"
                "  train    --in=<file> --model=<name> [--undirect]\n"
                "           [--epochs=N --hidden=N --steps=N --order=N "
-               "--lr=F --seed=N]\n"
+               "--lr=F --seed=N --check_finite]\n"
                "  any command also accepts --threads=N (0 = auto); results\n"
                "  are independent of the thread count\n");
   return 2;
@@ -129,6 +129,7 @@ int Train(const Flags& flags) {
   train_config.patience = static_cast<int>(flags.GetInt("patience", 30));
   train_config.learning_rate =
       static_cast<float>(flags.GetDouble("lr", 0.01));
+  train_config.check_finite = flags.GetBool("check_finite", false);
   const TrainResult result =
       TrainModel(model->get(), input, train_config, &rng);
   std::printf("%s on %s: val %.1f%% (epoch %d), test %.1f%% after %d "

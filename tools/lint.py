@@ -1,0 +1,310 @@
+#!/usr/bin/env python3
+"""adpa repo lint: project invariants the compiler cannot enforce.
+
+The parallel runtime (PR 1) stakes a bitwise thread-count-invariance
+contract on three confinement rules — all threading goes through
+src/core/parallel.*, all randomness through src/core/random.*, and all
+reductions accumulate in double. This linter machine-checks those rules
+plus a few hygiene invariants, so a future PR cannot silently break
+determinism by spawning a raw std::thread or seeding from the wall clock.
+
+Rules (ids used by the `// lint:allow(<rule>)` escape hatch):
+
+  parallel-primitives      std::thread / std::jthread / std::async / OpenMP
+                           are forbidden in src/ outside src/core/parallel.*;
+                           build on ParallelFor instead.
+  deterministic-randomness std::random_device, rand()/srand(), <random>
+                           engines, wall-clock reads (*_clock::now, time())
+                           are forbidden in src/ outside src/core/random.*;
+                           draw from an explicitly seeded adpa::Rng.
+  float-accumulator        scalar `float` accumulators (names containing
+                           acc/sum/total/dot) in kernel code (src/tensor,
+                           src/graph, src/metrics, src/models); accumulate in
+                           double with a single final round to float32.
+  no-direct-io             std::cout / printf in src/ outside
+                           src/core/logging.*; route output through
+                           TablePrinter / Status / the CLI binary.
+  no-unordered-iteration   range-for over a std::unordered_{map,set} in
+                           result-affecting paths (src/models, src/train);
+                           hash iteration order is implementation-defined and
+                           breaks run-to-run reproducibility.
+  pragma-once              every header in src/, tests/, bench/, tools/ must
+                           use #pragma once.
+
+A finding on line N is suppressed by `// lint:allow(<rule>)` on line N or
+line N-1. Shell scripts under tools/ are additionally run through shellcheck
+when it is installed (skipped with a notice otherwise).
+
+Usage:
+  tools/lint.py --root REPO_ROOT            # lint the tree (ctest `lint`)
+  tools/lint.py --root R --files f1 f2 ...  # lint specific files (tests)
+Exit status is 1 iff at least one finding survives suppression.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z0-9-]+)\)")
+
+# Directories never linted: build trees, VCS metadata, and the rule-violation
+# fixtures exercised by tests/lint_test.py.
+EXCLUDED_PARTS = {".git", "lint_fixtures"}
+
+
+def is_excluded(rel_path):
+    parts = rel_path.split(os.sep)
+    if any(part in EXCLUDED_PARTS for part in parts):
+        return True
+    return any(part.startswith("build") for part in parts)
+
+
+class Rule:
+    """A regex rule with a path scope and optional per-file exemptions."""
+
+    def __init__(self, rule_id, message, patterns, scopes, exempt=()):
+        self.rule_id = rule_id
+        self.message = message
+        self.patterns = [re.compile(p) for p in patterns]
+        self.scopes = scopes
+        self.exempt = exempt
+
+    def applies_to(self, rel_path):
+        norm = rel_path.replace(os.sep, "/")
+        if norm in self.exempt:
+            return False
+        return any(norm.startswith(scope) for scope in self.scopes)
+
+    def check(self, rel_path, lines):
+        for lineno, line in enumerate(lines, start=1):
+            code = strip_line_comment(line)
+            for pattern in self.patterns:
+                if pattern.search(code):
+                    yield Finding(rel_path, lineno, self.rule_id, self.message)
+                    break
+
+
+class Finding:
+    def __init__(self, rel_path, lineno, rule_id, message):
+        self.rel_path = rel_path
+        self.lineno = lineno
+        self.rule_id = rule_id
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (
+            self.rel_path, self.lineno, self.rule_id, self.message)
+
+
+def strip_line_comment(line):
+    """Drops a trailing // comment (naive: ignores // inside strings, which
+    is fine for flag-this-token rules and keeps commented-out code unflagged,
+    matching the escape hatch's spirit)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+CXX_SOURCE_SCOPES = ("src/",)
+
+RULES = [
+    Rule(
+        "parallel-primitives",
+        "raw threading primitive outside src/core/parallel.*; use ParallelFor "
+        "(its determinism contract is what keeps results thread-count "
+        "invariant)",
+        [
+            r"\bstd::(thread|jthread|async)\b",
+            r"#\s*include\s*<(thread|omp\.h|execution)>",
+            r"#\s*pragma\s+omp\b",
+        ],
+        scopes=CXX_SOURCE_SCOPES,
+        exempt=("src/core/parallel.h", "src/core/parallel.cc"),
+    ),
+    Rule(
+        "deterministic-randomness",
+        "non-deterministic or wall-clock-derived randomness outside "
+        "src/core/random.*; every stochastic draw must come from an "
+        "explicitly seeded adpa::Rng",
+        [
+            r"\bstd::random_device\b",
+            r"\bstd::(mt19937(_64)?|minstd_rand0?|default_random_engine)\b",
+            r"(?<!\w)s?rand\s*\(",
+            r"\bstd::time\s*\(",
+            r"(?<!\w)time\s*\(\s*(NULL|nullptr|0)\s*\)",
+            r"_clock::now\s*\(",
+        ],
+        scopes=CXX_SOURCE_SCOPES,
+        exempt=("src/core/random.h", "src/core/random.cc"),
+    ),
+    Rule(
+        "float-accumulator",
+        "scalar float accumulator in kernel code; accumulate in double and "
+        "round to float32 once (the dense/sparse kernels' precision "
+        "contract)",
+        [r"\bfloat\s+\w*(acc|sum|total|dot)\w*\s*(=|\{|;)"],
+        scopes=("src/tensor/", "src/graph/", "src/metrics/", "src/models/"),
+    ),
+    Rule(
+        "no-direct-io",
+        "direct stdout write outside src/core/logging.* and the CLI; use "
+        "TablePrinter, Status, or return data to the caller",
+        [r"\bstd::cout\b", r"(?<!\w)printf\s*\("],
+        scopes=CXX_SOURCE_SCOPES,
+        exempt=("src/core/logging.h", "src/core/logging.cc"),
+    ),
+    Rule(
+        "no-unordered-iteration",
+        "iteration over an unordered container in a result-affecting path; "
+        "hash order is implementation-defined — use a sorted container or "
+        "sort before iterating",
+        [],  # handled by check_unordered_iteration (needs two passes)
+        scopes=("src/models/", "src/train/"),
+    ),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{()]*>\s+(\w+)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*&?\*?(\w+)\s*\)")
+
+
+def check_unordered_iteration(rule, rel_path, lines):
+    declared = set()
+    for line in lines:
+        code = strip_line_comment(line)
+        for match in UNORDERED_DECL_RE.finditer(code):
+            declared.add(match.group(1))
+    if not declared:
+        return
+    for lineno, line in enumerate(lines, start=1):
+        code = strip_line_comment(line)
+        match = RANGE_FOR_RE.search(code)
+        if match and match.group(1) in declared:
+            yield Finding(rel_path, lineno, rule.rule_id, rule.message)
+
+
+HEADER_SCOPES = ("src/", "tests/", "bench/", "tools/")
+
+
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+
+
+def check_pragma_once(rel_path, lines):
+    if not any(PRAGMA_ONCE_RE.match(line) for line in lines):
+        yield Finding(
+            rel_path, 1, "pragma-once",
+            "header is missing #pragma once (include-guard style is not "
+            "used in this repo)")
+
+
+def suppressed(finding, lines):
+    """True if `// lint:allow(<rule>)` covers the finding's line."""
+    for lineno in (finding.lineno, finding.lineno - 1):
+        if 1 <= lineno <= len(lines):
+            for match in ALLOW_RE.finditer(lines[lineno - 1]):
+                if match.group(1) == finding.rule_id:
+                    return True
+    return False
+
+
+def lint_file(root, rel_path):
+    path = os.path.join(root, rel_path)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as err:
+        return [Finding(rel_path, 1, "io-error", str(err))]
+    findings = []
+    norm = rel_path.replace(os.sep, "/")
+    if norm.endswith((".cc", ".h")):
+        for rule in RULES:
+            if not rule.applies_to(rel_path):
+                continue
+            if rule.rule_id == "no-unordered-iteration":
+                findings.extend(check_unordered_iteration(rule, rel_path, lines))
+            else:
+                findings.extend(rule.check(rel_path, lines))
+    if norm.endswith(".h") and norm.startswith(HEADER_SCOPES):
+        findings.extend(check_pragma_once(rel_path, lines))
+    return [f for f in findings if not suppressed(f, lines)]
+
+
+def run_shellcheck(root, rel_paths):
+    """Shellcheck for tools/*.sh; a missing shellcheck binary is a skipped
+    check (the sanitizer/CI jobs install it), not a lint failure."""
+    scripts = [p for p in rel_paths if p.replace(os.sep, "/").endswith(".sh")]
+    if not scripts:
+        return []
+    exe = shutil.which("shellcheck")
+    if exe is None:
+        print("lint: shellcheck not installed; skipping %d shell script(s)"
+              % len(scripts))
+        return []
+    findings = []
+    result = subprocess.run(
+        [exe, "--format=gcc"] + [os.path.join(root, p) for p in scripts],
+        capture_output=True, text=True, check=False)
+    for line in result.stdout.splitlines():
+        # gcc format: path:line:col: level: message [SCxxxx]
+        parts = line.split(":", 3)
+        if len(parts) == 4:
+            rel = os.path.relpath(parts[0], root)
+            findings.append(Finding(rel, int(parts[1]), "shellcheck",
+                                    parts[3].strip()))
+    return findings
+
+
+def collect_files(root):
+    rel_paths = []
+    for scope in ("src", "tests", "bench", "tools", "examples"):
+        scope_dir = os.path.join(root, scope)
+        for dirpath, dirnames, filenames in os.walk(scope_dir):
+            dirnames[:] = [
+                d for d in dirnames
+                if not is_excluded(os.path.relpath(os.path.join(dirpath, d),
+                                                   root))]
+            for name in sorted(filenames):
+                if name.endswith((".cc", ".h", ".sh")):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    if not is_excluded(rel):
+                        rel_paths.append(rel)
+    return rel_paths
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--files", nargs="*", default=None,
+                        help="lint only these paths (relative to --root); "
+                             "exclusion filters are bypassed")
+    parser.add_argument("--no-shellcheck", action="store_true")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    if args.files is not None:
+        rel_paths = [os.path.relpath(os.path.abspath(p), root)
+                     if os.path.isabs(p) else p for p in args.files]
+    else:
+        rel_paths = collect_files(root)
+
+    findings = []
+    for rel_path in rel_paths:
+        findings.extend(lint_file(root, rel_path))
+    if not args.no_shellcheck:
+        findings.extend(run_shellcheck(root, rel_paths))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print("lint: %d finding(s) in %d file(s)" % (
+            len(findings), len({f.rel_path for f in findings})))
+        return 1
+    print("lint: OK (%d files)" % len(rel_paths))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
