@@ -1,25 +1,23 @@
 #include "src/data/io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <istream>
+#include <ostream>
 #include <sstream>
 
 namespace adpa {
 namespace {
 
-Status MalformedFile(const std::string& path, const std::string& what) {
-  return Status::InvalidArgument("malformed dataset file " + path + ": " +
-                                 what);
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("malformed dataset: " + what);
 }
 
 }  // namespace
 
-Status SaveDataset(const Dataset& dataset, const std::string& path) {
+Status SaveDatasetToStream(const Dataset& dataset, std::ostream& out) {
   ADPA_RETURN_IF_ERROR(dataset.Validate());
-  std::ofstream out(path);
-  if (!out.is_open()) {
-    return Status::Internal("cannot open for writing: " + path);
-  }
   out << "adpa-dataset 1\n";
   out << "name " << (dataset.name.empty() ? "unnamed" : dataset.name) << "\n";
   out << "nodes " << dataset.num_nodes() << " classes "
@@ -52,23 +50,33 @@ Status SaveDataset(const Dataset& dataset, const std::string& path) {
   write_split("val", dataset.val_idx);
   write_split("test", dataset.test_idx);
   out.flush();
-  if (!out.good()) return Status::Internal("write failed: " + path);
+  if (!out.good()) return Status::Internal("stream write failed");
   return Status::OK();
 }
 
-Result<Dataset> LoadDataset(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  Status st = SaveDatasetToStream(dataset, out);
+  if (!st.ok() && st.code() == StatusCode::kInternal) {
+    return Status::Internal("write failed: " + path);
+  }
+  return st;
+}
 
+Result<Dataset> LoadDatasetFromStream(std::istream& in,
+                                      const DatasetLimits& limits) {
   std::string magic;
   int version = 0;
   if (!(in >> magic >> version) || magic != "adpa-dataset" || version != 1) {
-    return MalformedFile(path, "bad magic/version header");
+    return Malformed("bad magic/version header");
   }
   std::string tag;
   Dataset dataset;
   if (!(in >> tag >> dataset.name) || tag != "name") {
-    return MalformedFile(path, "expected 'name'");
+    return Malformed("expected 'name'");
   }
   int64_t n = 0, f = 0;
   std::string classes_tag, features_tag;
@@ -76,20 +84,32 @@ Result<Dataset> LoadDataset(const std::string& path) {
         features_tag >> f) ||
       tag != "nodes" || classes_tag != "classes" ||
       features_tag != "features") {
-    return MalformedFile(path, "expected 'nodes ... classes ... features'");
+    return Malformed("expected 'nodes ... classes ... features'");
   }
   if (n < 0 || f < 0 || dataset.num_classes < 2) {
-    return MalformedFile(path, "non-sensical dimensions");
+    return Malformed("non-sensical dimensions");
+  }
+  // Enforce resource ceilings before the first header-sized allocation;
+  // header fields are attacker-controlled until proven otherwise.
+  if (n > limits.max_nodes) return Malformed("node count exceeds limit");
+  if (f > limits.max_features) {
+    return Malformed("feature dim exceeds limit");
+  }
+  if (f > 0 && n > limits.max_feature_entries / f) {
+    return Malformed("feature matrix exceeds entry limit");
   }
   int64_t m = 0;
   if (!(in >> tag >> m) || tag != "edges" || m < 0) {
-    return MalformedFile(path, "expected 'edges <m>'");
+    return Malformed("expected 'edges <m>'");
   }
+  if (m > limits.max_edges) return Malformed("edge count exceeds limit");
   std::vector<Edge> edges;
-  edges.reserve(m);
+  // Reserve is capped: `m` is still untrusted here, and a truncated body
+  // should fail on "truncated edges", not on a header-sized allocation.
+  edges.reserve(std::min<int64_t>(m, 1 << 20));
   for (int64_t i = 0; i < m; ++i) {
     Edge e;
-    if (!(in >> e.src >> e.dst)) return MalformedFile(path, "truncated edges");
+    if (!(in >> e.src >> e.dst)) return Malformed("truncated edges");
     edges.push_back(e);
   }
   Result<Digraph> graph = Digraph::Create(n, std::move(edges));
@@ -97,22 +117,22 @@ Result<Dataset> LoadDataset(const std::string& path) {
   dataset.graph = std::move(graph).value();
 
   if (!(in >> tag) || tag != "labels") {
-    return MalformedFile(path, "expected 'labels'");
+    return Malformed("expected 'labels'");
   }
   dataset.labels.resize(n);
   for (int64_t i = 0; i < n; ++i) {
     if (!(in >> dataset.labels[i])) {
-      return MalformedFile(path, "truncated labels");
+      return Malformed("truncated labels");
     }
   }
   if (!(in >> tag) || tag != "features") {
-    return MalformedFile(path, "expected 'features'");
+    return Malformed("expected 'features'");
   }
   dataset.features = Matrix(n, f);
   for (int64_t r = 0; r < n; ++r) {
     for (int64_t c = 0; c < f; ++c) {
       double value;
-      if (!(in >> value)) return MalformedFile(path, "truncated features");
+      if (!(in >> value)) return Malformed("truncated features");
       dataset.features.At(r, c) = static_cast<float>(value);
     }
   }
@@ -120,12 +140,13 @@ Result<Dataset> LoadDataset(const std::string& path) {
                         std::vector<int64_t>* indices) -> Status {
     int64_t count;
     if (!(in >> tag >> count) || tag != expected || count < 0) {
-      return MalformedFile(path, std::string("expected '") + expected + "'");
+      return Malformed(std::string("expected '") + expected + "'");
     }
+    if (count > n) return Malformed("split larger than the node set");
     indices->resize(count);
     for (int64_t i = 0; i < count; ++i) {
       if (!(in >> (*indices)[i])) {
-        return MalformedFile(path, "truncated split");
+        return Malformed("truncated split");
       }
     }
     return Status::OK();
@@ -135,6 +156,18 @@ Result<Dataset> LoadDataset(const std::string& path) {
   ADPA_RETURN_IF_ERROR(read_split("test", &dataset.test_idx));
   ADPA_RETURN_IF_ERROR(dataset.Validate());
   return dataset;
+}
+
+Result<Dataset> LoadDataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  Result<Dataset> result = LoadDatasetFromStream(in);
+  if (!result.ok() &&
+      result.status().code() == StatusCode::kInvalidArgument) {
+    return Status::InvalidArgument(result.status().message() + " (file " +
+                                   path + ")");
+  }
+  return result;
 }
 
 }  // namespace adpa

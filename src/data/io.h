@@ -1,4 +1,6 @@
 #pragma once
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 
 #include "src/core/status.h"
@@ -25,12 +27,34 @@ namespace adpa {
 /// Everything after `edges` is whitespace-separated, so files survive
 /// reformatting. Floats round-trip at %.6g precision.
 
+/// Resource ceilings enforced *before* any allocation sized by a header
+/// field. A hostile file can otherwise claim `nodes 10^12 features 10^6`
+/// and drive the loader into a terabyte allocation long before the
+/// "truncated features" check is reached. Defaults are generous for real
+/// workloads; fuzz targets pass tight limits.
+struct DatasetLimits {
+  int64_t max_nodes = 50'000'000;
+  int64_t max_edges = 2'000'000'000;
+  int64_t max_features = 1'000'000;
+  /// Bounds the dense feature allocation (nodes * features).
+  int64_t max_feature_entries = 2'000'000'000;
+};
+
 /// Serializes `dataset` to `path`. Fails on I/O errors.
 Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Serializes `dataset` onto an open stream (the body of SaveDataset).
+Status SaveDatasetToStream(const Dataset& dataset, std::ostream& out);
 
 /// Parses a dataset written by SaveDataset (or by hand in the same
 /// format). Validates the result before returning it.
 Result<Dataset> LoadDataset(const std::string& path);
 
-}  // namespace adpa
+/// Stream-parsing core of LoadDataset, exposed so untrusted payloads can
+/// be parsed without touching the filesystem (servers, fuzz harnesses).
+/// Never aborts on malformed input: every violation — including header
+/// dimensions beyond `limits` — comes back as a non-OK Status.
+Result<Dataset> LoadDatasetFromStream(std::istream& in,
+                                      const DatasetLimits& limits = {});
 
+}  // namespace adpa

@@ -47,45 +47,81 @@ SparseMatrix SparseMatrix::FromTriplets(int64_t rows, int64_t cols,
   return out;
 }
 
-SparseMatrix SparseMatrix::FromCsr(int64_t rows, int64_t cols,
-                                   std::vector<int64_t> row_ptr,
-                                   std::vector<int32_t> col_idx,
-                                   std::vector<float> values) {
-  ADPA_CHECK_GE(rows, 0);
-  ADPA_CHECK_GE(cols, 0);
-  ADPA_CHECK_EQ(static_cast<int64_t>(row_ptr.size()), rows + 1);
-  ADPA_CHECK_EQ(col_idx.size(), values.size());
+Status SparseMatrix::ValidateCsr(int64_t rows, int64_t cols,
+                                 const std::vector<int64_t>& row_ptr,
+                                 const std::vector<int32_t>& col_idx,
+                                 const std::vector<float>& values) {
+  auto fail = [](const std::string& what) {
+    return Status::InvalidArgument("malformed CSR: " + what);
+  };
+  if (rows < 0 || cols < 0) return fail("negative dimensions");
+  // size_t comparison avoids rows + 1 overflow on hostile dimensions.
+  if (row_ptr.empty() ||
+      row_ptr.size() - 1 != static_cast<uint64_t>(rows)) {
+    return fail("row_ptr length " + std::to_string(row_ptr.size()) +
+                " for " + std::to_string(rows) + " rows");
+  }
+  if (col_idx.size() != values.size()) {
+    return fail("col_idx/values length mismatch");
+  }
+  const int64_t nnz = static_cast<int64_t>(values.size());
+  if (row_ptr.front() != 0) return fail("row_ptr does not start at 0");
+  if (row_ptr.back() != nnz) {
+    return fail("row_ptr does not end at nnz = " + std::to_string(nnz));
+  }
+  // Row pointers are validated in full before any entry is dereferenced:
+  // front == 0, back == nnz, and monotonicity together bound every
+  // row_ptr[r] into [0, nnz], so the per-row sweep below cannot read out
+  // of range even on hostile input.
+  for (int64_t r = 0; r < rows; ++r) {
+    if (row_ptr[r] > row_ptr[r + 1]) {
+      return fail("row_ptr not monotone at row " + std::to_string(r));
+    }
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+      if (col_idx[p] < 0) {
+        return fail("negative column in row " + std::to_string(r));
+      }
+      if (col_idx[p] >= cols) {
+        return fail("column out of range in row " + std::to_string(r));
+      }
+      if (p != row_ptr[r] && col_idx[p - 1] >= col_idx[p]) {
+        return fail("columns not strictly increasing in row " +
+                    std::to_string(r));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<SparseMatrix> SparseMatrix::TryFromCsr(int64_t rows, int64_t cols,
+                                              std::vector<int64_t> row_ptr,
+                                              std::vector<int32_t> col_idx,
+                                              std::vector<float> values) {
+  ADPA_RETURN_IF_ERROR(ValidateCsr(rows, cols, row_ptr, col_idx, values));
   SparseMatrix out;
   out.rows_ = rows;
   out.cols_ = cols;
   out.row_ptr_ = std::move(row_ptr);
   out.col_idx_ = std::move(col_idx);
   out.values_ = std::move(values);
-  out.CheckInvariants();
   return out;
 }
 
+SparseMatrix SparseMatrix::FromCsr(int64_t rows, int64_t cols,
+                                   std::vector<int64_t> row_ptr,
+                                   std::vector<int32_t> col_idx,
+                                   std::vector<float> values) {
+  Result<SparseMatrix> out = TryFromCsr(rows, cols, std::move(row_ptr),
+                                        std::move(col_idx), std::move(values));
+  ADPA_CHECK(out.ok()) << out.status().message();
+  return std::move(out).value();
+}
+
 void SparseMatrix::CheckInvariants() const {
-  ADPA_CHECK_EQ(static_cast<int64_t>(row_ptr_.size()), rows_ + 1);
-  ADPA_CHECK_EQ(row_ptr_.front(), 0);
-  ADPA_CHECK_EQ(row_ptr_.back(), nnz());
-  ADPA_CHECK_EQ(col_idx_.size(), values_.size());
-  // Row pointers are validated in full before any entry is dereferenced:
-  // front == 0, back == nnz, and monotonicity together bound every
-  // row_ptr_[r] into [0, nnz], so the per-row sweep below cannot read out
-  // of range even on hostile input.
-  for (int64_t r = 0; r < rows_; ++r) {
-    ADPA_CHECK_LE(row_ptr_[r], row_ptr_[r + 1])
-        << "row_ptr not monotone at row " << r;
-  }
-  for (int64_t r = 0; r < rows_; ++r) {
-    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-      ADPA_CHECK_GE(col_idx_[p], 0) << "negative column in row " << r;
-      ADPA_CHECK_LT(col_idx_[p], cols_) << "column out of range in row " << r;
-      ADPA_CHECK(p == row_ptr_[r] || col_idx_[p - 1] < col_idx_[p])
-          << "columns not strictly increasing in row " << r;
-    }
-  }
+  Status st = ValidateCsr(rows_, cols_, row_ptr_, col_idx_, values_);
+  ADPA_CHECK(st.ok()) << st.message();
 }
 
 SparseMatrix SparseMatrix::Identity(int64_t n) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/core/logging.h"
+#include "src/core/status.h"
 #include "src/tensor/matrix.h"
 
 namespace adpa {
@@ -35,11 +36,29 @@ class SparseMatrix {
   /// ADPA_CHECK-validates full well-formedness — row_ptr monotone from 0 to
   /// nnz, column indices strictly increasing within each row and in
   /// [0, cols) — and aborts on malformed input; use FromTriplets when the
-  /// input is untrusted enough to deserve coalescing instead.
+  /// input is untrusted enough to deserve coalescing instead, or TryFromCsr
+  /// when malformed input must be rejected rather than aborted on.
   static SparseMatrix FromCsr(int64_t rows, int64_t cols,
                               std::vector<int64_t> row_ptr,
                               std::vector<int32_t> col_idx,
                               std::vector<float> values);
+
+  /// Status-returning twin of FromCsr for untrusted input (network payloads,
+  /// fuzzed parsers): returns InvalidArgument instead of aborting. The
+  /// validation order is hostile-input safe — row_ptr bounds are fully
+  /// established before any col_idx entry is dereferenced.
+  static Result<SparseMatrix> TryFromCsr(int64_t rows, int64_t cols,
+                                         std::vector<int64_t> row_ptr,
+                                         std::vector<int32_t> col_idx,
+                                         std::vector<float> values);
+
+  /// The single source of truth for CSR well-formedness, shared by
+  /// FromCsr/TryFromCsr/CheckInvariants. OK iff the arrays form a valid
+  /// rows x cols CSR matrix.
+  static Status ValidateCsr(int64_t rows, int64_t cols,
+                            const std::vector<int64_t>& row_ptr,
+                            const std::vector<int32_t>& col_idx,
+                            const std::vector<float>& values);
 
   /// Identity of size n.
   static SparseMatrix Identity(int64_t n);

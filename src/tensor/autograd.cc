@@ -19,10 +19,11 @@ std::shared_ptr<Node> MakeLeaf(Matrix value, bool requires_grad) {
   return node;
 }
 
-std::shared_ptr<Node> MakeOp(Matrix value,
+std::shared_ptr<Node> MakeOp(const char* op, Matrix value,
                              std::vector<std::shared_ptr<Node>> parents,
                              std::function<void(const Matrix&)> backward) {
   auto node = std::make_shared<Node>();
+  node->op = op;
   node->value = std::move(value);
   node->parents = std::move(parents);
   node->requires_grad = false;
@@ -61,7 +62,7 @@ Variable Add(const Variable& a, const Variable& b) {
   ADPA_CHECK(a.value().SameShape(b.value()));
   auto pa = a.node();
   auto pb = b.node();
-  return Variable(MakeOp(adpa::Add(a.value(), b.value()), {pa, pb},
+  return Variable(MakeOp("Add", adpa::Add(a.value(), b.value()), {pa, pb},
                          [pa, pb](const Matrix& g) {
                            if (pa->requires_grad) pa->AccumulateGrad(g);
                            if (pb->requires_grad) pb->AccumulateGrad(g);
@@ -72,7 +73,7 @@ Variable Sub(const Variable& a, const Variable& b) {
   ADPA_CHECK(a.value().SameShape(b.value()));
   auto pa = a.node();
   auto pb = b.node();
-  return Variable(MakeOp(adpa::Sub(a.value(), b.value()), {pa, pb},
+  return Variable(MakeOp("Sub", adpa::Sub(a.value(), b.value()), {pa, pb},
                          [pa, pb](const Matrix& g) {
                            if (pa->requires_grad) pa->AccumulateGrad(g);
                            if (pb->requires_grad) {
@@ -87,7 +88,7 @@ Variable Mul(const Variable& a, const Variable& b) {
   ADPA_CHECK(a.value().SameShape(b.value()));
   auto pa = a.node();
   auto pb = b.node();
-  return Variable(MakeOp(Hadamard(a.value(), b.value()), {pa, pb},
+  return Variable(MakeOp("Mul", Hadamard(a.value(), b.value()), {pa, pb},
                          [pa, pb](const Matrix& g) {
                            if (pa->requires_grad) {
                              pa->AccumulateGrad(Hadamard(g, pb->value));
@@ -100,7 +101,7 @@ Variable Mul(const Variable& a, const Variable& b) {
 
 Variable Scale(const Variable& a, float factor) {
   auto pa = a.node();
-  return Variable(MakeOp(adpa::Scale(a.value(), factor), {pa},
+  return Variable(MakeOp("Scale", adpa::Scale(a.value(), factor), {pa},
                          [pa, factor](const Matrix& g) {
                            if (pa->requires_grad) {
                              pa->AccumulateGrad(adpa::Scale(g, factor));
@@ -114,7 +115,7 @@ Variable MatMul(const Variable& a, const Variable& b) {
       << b.rows() << "x" << b.cols();
   auto pa = a.node();
   auto pb = b.node();
-  return Variable(MakeOp(
+  return Variable(MakeOp("MatMul",
       adpa::MatMul(a.value(), b.value()), {pa, pb}, [pa, pb](const Matrix& g) {
         if (pa->requires_grad) {
           pa->AccumulateGrad(MatMulTransposeB(g, pb->value));  // g @ bᵀ
@@ -131,7 +132,7 @@ Variable MatMulTransposeA(const Variable& a, const Variable& b) {
       << "ᵀ @ " << b.rows() << "x" << b.cols();
   auto pa = a.node();
   auto pb = b.node();
-  return Variable(MakeOp(adpa::MatMulTransposeA(a.value(), b.value()),
+  return Variable(MakeOp("MatMulTransposeA", adpa::MatMulTransposeA(a.value(), b.value()),
                          {pa, pb}, [pa, pb](const Matrix& g) {
                            if (pa->requires_grad) {
                              // d(aᵀb)/da: b @ gᵀ.
@@ -150,7 +151,7 @@ Variable AddBias(const Variable& a, const Variable& bias) {
   ADPA_CHECK_EQ(bias.cols(), a.cols());
   auto pa = a.node();
   auto pbias = bias.node();
-  return Variable(MakeOp(AddRowBroadcast(a.value(), bias.value()), {pa, pbias},
+  return Variable(MakeOp("AddBias", AddRowBroadcast(a.value(), bias.value()), {pa, pbias},
                          [pa, pbias](const Matrix& g) {
                            if (pa->requires_grad) pa->AccumulateGrad(g);
                            if (pbias->requires_grad) {
@@ -172,7 +173,7 @@ Variable SpMM(const SparseMatrix& a, const Variable& x) {
   auto px = x.node();
   // The sparse operator is captured by value; CSR vectors are shared via
   // copy-on-write-free vectors, and operators are long-lived in practice.
-  return Variable(MakeOp(a.Multiply(x.value()), {px},
+  return Variable(MakeOp("SpMM", a.Multiply(x.value()), {px},
                          [a, px](const Matrix& g) {
                            if (px->requires_grad) {
                              px->AccumulateGrad(a.MultiplyTransposed(g));
@@ -184,7 +185,7 @@ Variable Relu(const Variable& a) {
   auto pa = a.node();
   Matrix out = a.value();
   out.ApplyFn([](float v) { return v > 0.0f ? v : 0.0f; });
-  return Variable(MakeOp(std::move(out), {pa}, [pa](const Matrix& g) {
+  return Variable(MakeOp("Relu", std::move(out), {pa}, [pa](const Matrix& g) {
     if (!pa->requires_grad) return;
     Matrix masked = g;
     for (int64_t i = 0; i < masked.size(); ++i) {
@@ -201,7 +202,7 @@ Variable LeakyRelu(const Variable& a, float negative_slope) {
     return v > 0.0f ? v : negative_slope * v;
   });
   return Variable(
-      MakeOp(std::move(out), {pa}, [pa, negative_slope](const Matrix& g) {
+      MakeOp("LeakyRelu", std::move(out), {pa}, [pa, negative_slope](const Matrix& g) {
         if (!pa->requires_grad) return;
         Matrix masked = g;
         for (int64_t i = 0; i < masked.size(); ++i) {
@@ -217,7 +218,7 @@ Variable Sigmoid(const Variable& a) {
   out.ApplyFn([](float v) { return 1.0f / (1.0f + std::exp(-v)); });
   Matrix saved = out;  // σ(x), reused in the backward pass
   return Variable(
-      MakeOp(std::move(out), {pa}, [pa, saved](const Matrix& g) {
+      MakeOp("Sigmoid", std::move(out), {pa}, [pa, saved](const Matrix& g) {
         if (!pa->requires_grad) return;
         Matrix dx = g;
         for (int64_t i = 0; i < dx.size(); ++i) {
@@ -233,7 +234,7 @@ Variable Tanh(const Variable& a) {
   Matrix out = a.value();
   out.ApplyFn([](float v) { return std::tanh(v); });
   Matrix saved = out;
-  return Variable(MakeOp(std::move(out), {pa}, [pa, saved](const Matrix& g) {
+  return Variable(MakeOp("Tanh", std::move(out), {pa}, [pa, saved](const Matrix& g) {
     if (!pa->requires_grad) return;
     Matrix dx = g;
     for (int64_t i = 0; i < dx.size(); ++i) {
@@ -244,23 +245,37 @@ Variable Tanh(const Variable& a) {
   }));
 }
 
-Variable Dropout(const Variable& a, float p, bool training, Rng* rng) {
+Matrix DropoutMask(int64_t rows, int64_t cols, float p, Rng* rng) {
   ADPA_CHECK_GE(p, 0.0f);
   ADPA_CHECK_LT(p, 1.0f);
-  if (!training || p == 0.0f) return a;
   ADPA_CHECK(rng != nullptr);
-  auto pa = a.node();
   const float keep_scale = 1.0f / (1.0f - p);
-  Matrix mask(a.rows(), a.cols());
+  Matrix mask(rows, cols);
   for (int64_t i = 0; i < mask.size(); ++i) {
     mask.data()[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
   }
-  return Variable(MakeOp(Hadamard(a.value(), mask), {pa},
+  return mask;
+}
+
+Variable DropoutWithMask(const Variable& a, const Matrix& mask) {
+  ADPA_CHECK(mask.SameShape(a.value()))
+      << "dropout mask shape " << mask.rows() << "x" << mask.cols()
+      << " does not match input " << a.rows() << "x" << a.cols();
+  auto pa = a.node();
+  return Variable(MakeOp("DropoutWithMask", Hadamard(a.value(), mask), {pa},
                          [pa, mask](const Matrix& g) {
                            if (pa->requires_grad) {
                              pa->AccumulateGrad(Hadamard(g, mask));
                            }
                          }));
+}
+
+Variable Dropout(const Variable& a, float p, bool training, Rng* rng) {
+  ADPA_CHECK_GE(p, 0.0f);
+  ADPA_CHECK_LT(p, 1.0f);
+  if (!training || p == 0.0f) return a;
+  ADPA_CHECK(rng != nullptr);
+  return DropoutWithMask(a, DropoutMask(a.rows(), a.cols(), p, rng));
 }
 
 Variable ConcatCols(const std::vector<Variable>& parts) {
@@ -278,7 +293,7 @@ Variable ConcatCols(const std::vector<Variable>& parts) {
     offsets[i + 1] = offsets[i] + parts[i].cols();
   }
   auto captured_parents = parents;
-  return Variable(MakeOp(
+  return Variable(MakeOp("ConcatCols",
       adpa::ConcatCols(values), parents,
       [captured_parents, offsets](const Matrix& g) {
         for (size_t i = 0; i < captured_parents.size(); ++i) {
@@ -304,7 +319,7 @@ Variable SliceCols(const Variable& a, int64_t begin, int64_t end) {
     std::copy(a.value().Row(r) + begin, a.value().Row(r) + end, out.Row(r));
   }
   return Variable(
-      MakeOp(std::move(out), {pa}, [pa, begin, end](const Matrix& g) {
+      MakeOp("SliceCols", std::move(out), {pa}, [pa, begin, end](const Matrix& g) {
         if (!pa->requires_grad) return;
         Matrix expanded(pa->value.rows(), pa->value.cols());
         for (int64_t r = 0; r < g.rows(); ++r) {
@@ -326,7 +341,7 @@ Variable ScaleRows(const Variable& a, const Variable& scales) {
     float* row = out.Row(r);
     for (int64_t c = 0; c < out.cols(); ++c) row[c] *= s;
   }
-  return Variable(MakeOp(std::move(out), {pa, ps}, [pa, ps](const Matrix& g) {
+  return Variable(MakeOp("ScaleRows", std::move(out), {pa, ps}, [pa, ps](const Matrix& g) {
     if (pa->requires_grad) {
       Matrix da = g;
       for (int64_t r = 0; r < da.rows(); ++r) {
@@ -355,7 +370,7 @@ Variable ScaleScalar(const Variable& a, const Variable& s) {
   ADPA_CHECK_EQ(s.cols(), 1);
   auto pa = a.node();
   auto ps = s.node();
-  return Variable(MakeOp(adpa::Scale(a.value(), s.value().At(0, 0)), {pa, ps},
+  return Variable(MakeOp("ScaleScalar", adpa::Scale(a.value(), s.value().At(0, 0)), {pa, ps},
                          [pa, ps](const Matrix& g) {
                            if (pa->requires_grad) {
                              pa->AccumulateGrad(
@@ -378,7 +393,7 @@ Variable SoftmaxRows(const Variable& a) {
   auto pa = a.node();
   Matrix out = adpa::SoftmaxRows(a.value());
   Matrix saved = out;
-  return Variable(MakeOp(std::move(out), {pa}, [pa, saved](const Matrix& g) {
+  return Variable(MakeOp("SoftmaxRows", std::move(out), {pa}, [pa, saved](const Matrix& g) {
     if (!pa->requires_grad) return;
     // dL/dx_j = s_j * (g_j - Σ_k g_k s_k), per row.
     Matrix dx(g.rows(), g.cols());
@@ -404,7 +419,7 @@ Variable LogSoftmaxRows(const Variable& a) {
     out.data()[i] = std::log(std::max(softmax.data()[i], 1e-30f));
   }
   return Variable(
-      MakeOp(std::move(out), {pa}, [pa, softmax](const Matrix& g) {
+      MakeOp("LogSoftmaxRows", std::move(out), {pa}, [pa, softmax](const Matrix& g) {
         if (!pa->requires_grad) return;
         // dL/dx_j = g_j - s_j * Σ_k g_k, per row.
         Matrix dx(g.rows(), g.cols());
@@ -426,7 +441,7 @@ Variable SumAll(const Variable& a) {
   auto pa = a.node();
   Matrix out(1, 1);
   out.At(0, 0) = a.value().SumAll();
-  return Variable(MakeOp(std::move(out), {pa}, [pa](const Matrix& g) {
+  return Variable(MakeOp("SumAll", std::move(out), {pa}, [pa](const Matrix& g) {
     if (!pa->requires_grad) return;
     Matrix ones(pa->value.rows(), pa->value.cols(), g.At(0, 0));
     pa->AccumulateGrad(ones);
@@ -453,7 +468,7 @@ Variable MaskedCrossEntropy(const Variable& logits,
   Matrix out(1, 1);
   out.At(0, 0) = static_cast<float>(loss);
   const float inv_count = 1.0f / static_cast<float>(mask_indices.size());
-  return Variable(MakeOp(
+  return Variable(MakeOp("MaskedCrossEntropy",
       std::move(out), {plogits},
       [plogits, softmax, labels, mask_indices, inv_count](const Matrix& g) {
         if (!plogits->requires_grad) return;

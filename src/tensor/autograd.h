@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/core/logging.h"
 #include "src/graph/sparse_matrix.h"
 #include "src/tensor/matrix.h"
 
@@ -21,6 +22,9 @@ struct Node {
   Matrix value;
   Matrix grad;  // allocated lazily on first accumulation
   bool requires_grad = false;
+  /// Static op tag ("leaf" for Parameter/Constant). The tape analyzer
+  /// (src/tensor/tape_analysis.h) keys its per-op shape rules on this.
+  const char* op = "leaf";
   std::vector<std::shared_ptr<Node>> parents;
   /// Accumulates gradients into the parents given this node's output grad.
   std::function<void(const Matrix& grad_out)> backward;
@@ -30,17 +34,35 @@ struct Node {
 };
 
 /// Shared handle to a tape node. Copying a Variable aliases the same node.
+/// All accessors DCHECK `defined()` first, so a default-constructed
+/// Variable fails loudly in debug/sanitizer builds instead of dereferencing
+/// a null node.
 class Variable {
  public:
   Variable() = default;
   explicit Variable(std::shared_ptr<Node> node) : node_(std::move(node)) {}
 
   bool defined() const { return node_ != nullptr; }
-  const Matrix& value() const { return node_->value; }
-  const Matrix& grad() const { return node_->grad; }
-  bool requires_grad() const { return node_->requires_grad; }
-  int64_t rows() const { return node_->value.rows(); }
-  int64_t cols() const { return node_->value.cols(); }
+  const Matrix& value() const {
+    DcheckDefined();
+    return node_->value;
+  }
+  const Matrix& grad() const {
+    DcheckDefined();
+    return node_->grad;
+  }
+  bool requires_grad() const {
+    DcheckDefined();
+    return node_->requires_grad;
+  }
+  int64_t rows() const {
+    DcheckDefined();
+    return node_->value.rows();
+  }
+  int64_t cols() const {
+    DcheckDefined();
+    return node_->value.cols();
+  }
 
   std::shared_ptr<Node> node() const { return node_; }
 
@@ -48,9 +70,16 @@ class Variable {
   void ZeroGrad();
 
   /// Replaces the stored value (used by optimizers applying updates).
-  Matrix* mutable_value() { return &node_->value; }
+  Matrix* mutable_value() {
+    DcheckDefined();
+    return &node_->value;
+  }
 
  private:
+  void DcheckDefined() const {
+    ADPA_DCHECK(defined()) << "access through a default-constructed Variable";
+  }
+
   std::shared_ptr<Node> node_;
 };
 
@@ -93,8 +122,22 @@ Variable Sigmoid(const Variable& a);
 Variable Tanh(const Variable& a);
 
 /// Inverted dropout: at train time zeroes entries with probability `p` and
-/// rescales survivors by 1/(1-p); identity at eval time.
+/// rescales survivors by 1/(1-p); identity at eval time. The mask is drawn
+/// from `rng` (one Bernoulli per entry), so re-seeding the Rng reproduces
+/// the mask exactly — the gradcheck harness relies on this to hold the mask
+/// fixed across finite-difference evaluations (see src/tensor/gradcheck.h).
 Variable Dropout(const Variable& a, float p, bool training, Rng* rng);
+
+/// Samples the inverted-dropout mask Dropout would apply: entries are 0
+/// with probability `p` and 1/(1-p) otherwise. Exposed so tests can
+/// precompute a mask once and apply it deterministically.
+Matrix DropoutMask(int64_t rows, int64_t cols, float p, Rng* rng);
+
+/// Applies a precomputed dropout mask (same shape as `a`). Dropout is
+/// exactly DropoutWithMask(a, DropoutMask(...)); calling this directly
+/// makes the op a deterministic function of its inputs, which is what the
+/// fixed-mask gradcheck entry exercises.
+Variable DropoutWithMask(const Variable& a, const Matrix& mask);
 
 /// Column-wise concatenation [a0 | a1 | ...].
 Variable ConcatCols(const std::vector<Variable>& parts);

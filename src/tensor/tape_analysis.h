@@ -1,0 +1,56 @@
+#pragma once
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/autograd.h"
+
+namespace adpa {
+namespace ag {
+
+/// Static analysis of a constructed autograd tape. `AnalyzeTape` walks the
+/// Node DAG reachable from `root` and checks the structural invariants the
+/// backward pass silently assumes:
+///
+///  * every parent pointer is non-null;
+///  * the parent graph is acyclic (a cycle would hang Backward's DFS);
+///  * an op node (non-empty parent list) with `requires_grad` set has a
+///    backward closure, and a node without `requires_grad` has none;
+///  * `requires_grad` on an op node equals the OR of its parents' flags
+///    (the MakeOp propagation rule);
+///  * an accumulated gradient, if present, matches the value's shape;
+///  * per-op output/operand shape rules for every op tagged by
+///    src/tensor/autograd.cc (e.g. Add operands are same-shape, a MatMul
+///    output is a.rows x b.cols, SumAll is 1x1).
+///
+/// Violations indicate a bug in an op implementation (or a hand-built
+/// Node), not user error, so callers typically ADPA_CHECK(report.ok()).
+///
+/// Separately from hard violations, the analyzer reports *dead* parameters:
+/// entries of `params` whose node is unreachable from `root`. A dead
+/// parameter silently receives no gradient and never trains — the exact
+/// failure mode of forgetting to wire a block's output into the loss. The
+/// trainer runs this check on the first step when
+/// `TrainConfig::verify_tape` is set.
+struct TapeReport {
+  int64_t num_nodes = 0;  ///< reachable tape nodes, including leaves
+  int64_t num_edges = 0;  ///< parent links among reachable nodes
+  int64_t num_leaves = 0;
+  /// Structural invariant breaches, one human-readable line each.
+  std::vector<std::string> violations;
+  /// Indices into `params` of parameters unreachable from the root.
+  std::vector<int64_t> dead_params;
+
+  bool ok() const { return violations.empty(); }
+
+  /// One-line digest plus every violation / dead-parameter note.
+  std::string Summary() const;
+};
+
+/// Analyzes the tape rooted at `root` (typically the loss). `params` is
+/// optional; when given, unreachable entries are reported as dead.
+TapeReport AnalyzeTape(const Variable& root,
+                       const std::vector<Variable>& params = {});
+
+}  // namespace ag
+}  // namespace adpa

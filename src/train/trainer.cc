@@ -6,6 +6,7 @@
 #include "src/core/random.h"
 #include "src/tensor/autograd.h"
 #include "src/tensor/optimizer.h"
+#include "src/tensor/tape_analysis.h"
 
 namespace adpa {
 
@@ -42,6 +43,16 @@ TrainResult TrainModel(Model* model, const Dataset& dataset,
     ag::Variable logits = model->Forward(/*training=*/true, rng);
     ag::Variable loss =
         ag::MaskedCrossEntropy(logits, dataset.labels, dataset.train_idx);
+    if (config.verify_tape && epoch == 0) {
+      // One-shot structural audit of the loss graph: op-shape and
+      // backward-closure invariants are hard errors; dead (unreachable)
+      // parameters are reported so callers can assert on them.
+      const ag::TapeReport report =
+          ag::AnalyzeTape(loss, model->Parameters());
+      ADPA_CHECK(report.ok()) << report.Summary();
+      result.dead_parameters =
+          static_cast<int64_t>(report.dead_params.size());
+    }
     ag::Backward(loss);
     optimizer.Step();
     if (config.check_finite) {

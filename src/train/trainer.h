@@ -25,6 +25,12 @@ struct TrainConfig {
   /// full scan of every checked tensor per epoch — but invaluable when
   /// hunting silent numerical drift (adpa_cli --check_finite).
   bool check_finite = false;
+  /// Run the autograd tape analyzer (src/tensor/tape_analysis.h) on the
+  /// first step's loss graph: abort on structural violations and report
+  /// parameters unreachable from the loss via
+  /// TrainResult::dead_parameters. One-time cost proportional to the tape
+  /// size; subsequent epochs rebuild the same graph shape.
+  bool verify_tape = false;
 };
 
 /// Outcome of one training run. `test_accuracy` is measured at the epoch
@@ -34,6 +40,9 @@ struct TrainResult {
   double test_accuracy = 0.0;
   int best_epoch = 0;
   int epochs_run = 0;
+  /// Number of parameters unreachable from the loss (only populated when
+  /// TrainConfig::verify_tape is set; such parameters never train).
+  int64_t dead_parameters = 0;
   std::vector<double> val_curve;
   std::vector<double> train_loss_curve;
 };

@@ -257,6 +257,19 @@ TEST(AutogradTest, DropoutTrainScalesSurvivors) {
   EXPECT_NEAR(drop_rate, 0.25, 0.05);
 }
 
+TEST(AutogradTest, DropoutMatchesDropoutWithPrecomputedMask) {
+  // Dropout(p, ...) is defined as DropoutWithMask over a mask drawn from
+  // the same Rng stream, so the two paths must agree bit-for-bit. The
+  // split exists so gradcheck can freeze the mask across FD probes.
+  ag::Variable p = RandomParam(6, 4, 36);
+  Rng mask_rng_a(37), mask_rng_b(37);
+  const Matrix mask = ag::DropoutMask(6, 4, 0.3f, &mask_rng_a);
+  ag::Variable via_mask = ag::DropoutWithMask(p, mask);
+  ag::Variable via_dropout = ag::Dropout(p, 0.3f, /*training=*/true,
+                                         &mask_rng_b);
+  EXPECT_TRUE(AllClose(via_mask.value(), via_dropout.value(), 0.0f));
+}
+
 TEST(AutogradTest, DiamondGraphAccumulatesBothPaths) {
   // loss = sum(p + p): gradient must be 2 everywhere (two paths to p).
   ag::Variable p = RandomParam(2, 3, 35);
@@ -287,6 +300,20 @@ TEST_F(AutogradDeathTest, SpMMRejectsOperandWithWrongRowCount) {
   SparseMatrix op = SparseMatrix::Identity(3);
   ag::Variable x = ag::Parameter(Matrix(4, 2));
   EXPECT_DEATH(ag::SpMM(op, x), "SpMM shape mismatch");
+}
+
+TEST_F(AutogradDeathTest, DefaultConstructedVariableAccessorsAbort) {
+#if ADPA_DCHECK_IS_ON
+  ag::Variable v;
+  EXPECT_DEATH(v.value(), "default-constructed Variable");
+  EXPECT_DEATH(v.grad(), "default-constructed Variable");
+  EXPECT_DEATH(v.requires_grad(), "default-constructed Variable");
+  EXPECT_DEATH(v.rows(), "default-constructed Variable");
+  EXPECT_DEATH(v.cols(), "default-constructed Variable");
+  EXPECT_DEATH(v.mutable_value(), "default-constructed Variable");
+#else
+  GTEST_SKIP() << "accessor guards are ADPA_DCHECKs, off in this build";
+#endif
 }
 
 }  // namespace

@@ -1,0 +1,128 @@
+// Standalone driver linked into the fuzz targets when the toolchain has no
+// libFuzzer runtime (`-fsanitize=fuzzer` is a clang feature; the default
+// gcc build still needs to replay corpora and shake the targets in CI and
+// ctest). It implements the slice of the libFuzzer CLI the build uses:
+//
+//   fuzz_foo [-runs=N] [-max_total_time=S] <corpus file or dir>...
+//
+// Every corpus file is replayed through LLVMFuzzerTestOneInput, then each
+// seed is mutated deterministically (xorshift PRNG, fixed seed) for N
+// rounds or until the time budget runs out. This is a corpus *replayer*
+// with light mutation, not a coverage-guided fuzzer — real fuzzing runs
+// use the clang+libFuzzer build (see .github/workflows/ci.yml).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+uint64_t XorShift(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *state = x;
+}
+
+std::vector<uint8_t> ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void Mutate(std::vector<uint8_t>* data, uint64_t* state) {
+  switch (XorShift(state) % 4) {
+    case 0:  // flip a byte
+      if (!data->empty()) {
+        (*data)[XorShift(state) % data->size()] ^=
+            static_cast<uint8_t>(XorShift(state));
+      }
+      break;
+    case 1:  // truncate
+      if (!data->empty()) data->resize(XorShift(state) % data->size());
+      break;
+    case 2:  // append noise
+      for (int i = 0; i < 8; ++i) {
+        data->push_back(static_cast<uint8_t>(XorShift(state)));
+      }
+      break;
+    case 3:  // splice: duplicate a prefix
+      if (!data->empty()) {
+        const size_t cut = XorShift(state) % data->size();
+        data->insert(data->end(), data->begin(),
+                     data->begin() + static_cast<ptrdiff_t>(cut));
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long runs = 256;
+  long long max_seconds = 0;  // 0 = no time budget
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::atoll(arg.c_str() + 6);
+    } else if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_seconds = std::atoll(arg.c_str() + 16);
+    } else if (arg.rfind("-", 0) == 0) {
+      // Ignore other libFuzzer flags so invocations stay interchangeable.
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const auto& input : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(input, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(input)) {
+        if (entry.is_regular_file()) corpus.push_back(ReadFile(entry.path()));
+      }
+    } else if (std::filesystem::is_regular_file(input, ec)) {
+      corpus.push_back(ReadFile(input));
+    } else {
+      std::fprintf(stderr, "warning: skipping missing input %s\n",
+                   input.string().c_str());
+    }
+  }
+  if (corpus.empty()) corpus.push_back({});  // always probe the empty input
+
+  long long executed = 0;
+  for (const auto& seed : corpus) {
+    LLVMFuzzerTestOneInput(seed.data(), seed.size());
+    ++executed;
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(max_seconds);
+  uint64_t state = 0x9E3779B97F4A7C15ULL;
+  for (long long round = 0; round < runs; ++round) {
+    for (const auto& seed : corpus) {
+      if (max_seconds > 0 && std::chrono::steady_clock::now() >= deadline) {
+        std::printf("Done: %lld runs (time budget)\n", executed);
+        return 0;
+      }
+      std::vector<uint8_t> mutated = seed;
+      // A couple of stacked mutations per round reaches deeper variants.
+      Mutate(&mutated, &state);
+      if (XorShift(&state) % 2 == 0) Mutate(&mutated, &state);
+      LLVMFuzzerTestOneInput(mutated.data(), mutated.size());
+      ++executed;
+    }
+  }
+  std::printf("Done: %lld runs\n", executed);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fuzz target: LoadDatasetFromStream on attacker-controlled text.
+//
+// Invariants under test:
+//  * the loader never aborts, over-allocates past DatasetLimits, or trips
+//    ASan/UBSan — malformed or hostile input is always a non-OK Status;
+//  * any dataset the loader accepts survives a save/reload round trip
+//    (accepted implies well-formed implies serializable).
+//
+// Limits are tight so the fuzzer explores the ceiling checks with small
+// inputs instead of wasting its budget growing megabyte corpora.
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "src/data/io.h"
+
+using adpa::Dataset;
+using adpa::DatasetLimits;
+using adpa::LoadDatasetFromStream;
+using adpa::Result;
+using adpa::SaveDatasetToStream;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  DatasetLimits limits;
+  limits.max_nodes = 64;
+  limits.max_edges = 512;
+  limits.max_features = 16;
+  limits.max_feature_entries = 1024;
+
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  Result<Dataset> loaded = LoadDatasetFromStream(in, limits);
+  if (!loaded.ok()) return 0;
+
+  std::ostringstream out;
+  if (!SaveDatasetToStream(loaded.value(), out).ok()) __builtin_trap();
+  std::istringstream again(out.str());
+  Result<Dataset> reloaded = LoadDatasetFromStream(again, limits);
+  if (!reloaded.ok()) __builtin_trap();
+  if (reloaded->num_nodes() != loaded->num_nodes() ||
+      reloaded->num_edges() != loaded->num_edges() ||
+      reloaded->labels != loaded->labels) {
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+#pragma once
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+// Shared byte-consumption helper for the fuzz targets. Deliberately tiny:
+// every Take* is total (exhausted input yields zeros) so a target never
+// branches on "ran out of bytes" — short inputs just exercise the
+// zero/empty corners of the parser under test.
+
+namespace adpa {
+namespace fuzz {
+
+class Input {
+ public:
+  Input(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ >= size_; }
+
+  uint8_t TakeByte() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  uint32_t TakeU32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | TakeByte();
+    return v;
+  }
+
+  int64_t TakeInt64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | TakeByte();
+    return static_cast<int64_t>(v);
+  }
+
+  /// Uniform-ish value in [lo, hi] (inclusive); requires lo <= hi.
+  int64_t TakeInRange(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(TakeU32() % span);
+  }
+
+  /// Finite float in roughly [-8, 8]; fuzzed bytes never produce NaN/Inf
+  /// here so targets can separately decide to test non-finite handling.
+  float TakeFloat() {
+    const uint32_t raw = TakeU32();
+    return (static_cast<float>(raw % 65536) - 32768.0f) / 4096.0f;
+  }
+
+  /// Everything not yet consumed, as text.
+  std::string TakeRemainder() {
+    std::string out(reinterpret_cast<const char*>(data_ + pos_),
+                    size_ - pos_);
+    pos_ = size_;
+    return out;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fuzz
+}  // namespace adpa

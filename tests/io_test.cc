@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -103,6 +104,59 @@ TEST_F(IoTest, LoadValidatesSemantics) {
       << "train 1 0\nval 1 0\ntest 1 2\n";  // node 0 in train AND val
   out.close();
   EXPECT_FALSE(LoadDataset(path_).ok());
+}
+
+TEST_F(IoTest, StreamRoundTripMatchesFileRoundTrip) {
+  const Dataset original = MakeDataset();
+  std::ostringstream out;
+  ASSERT_TRUE(SaveDatasetToStream(original, out).ok());
+  std::istringstream in(out.str());
+  Result<Dataset> loaded = LoadDatasetFromStream(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), original.num_edges());
+  EXPECT_EQ(loaded->labels, original.labels);
+}
+
+TEST_F(IoTest, HostileHeaderDimensionsAreRejectedBeforeAllocation) {
+  // A hostile header claiming astronomically many nodes/features must be
+  // rejected by the DatasetLimits ceilings, not by an OOM inside Matrix.
+  const auto load_with_header = [](const std::string& header,
+                                   const DatasetLimits& limits) {
+    std::istringstream in("adpa-dataset 1\nname evil\n" + header +
+                          "\nedges 0\n");
+    return LoadDatasetFromStream(in, limits);
+  };
+  DatasetLimits tight;
+  tight.max_nodes = 1000;
+  tight.max_edges = 10000;
+  tight.max_features = 100;
+  tight.max_feature_entries = 10000;
+
+  Result<Dataset> r =
+      load_with_header("nodes 999999999999 classes 2 features 1", tight);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("node count exceeds limit"),
+            std::string::npos);
+
+  r = load_with_header("nodes 10 classes 2 features 999999", tight);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("feature dim exceeds limit"),
+            std::string::npos);
+
+  // Individually-legal dims whose product overflows the entry ceiling.
+  r = load_with_header("nodes 1000 classes 2 features 100", tight);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("exceeds entry limit"),
+            std::string::npos);
+
+  std::istringstream edges_in(
+      "adpa-dataset 1\nname evil\nnodes 4 classes 2 features 1\n"
+      "edges 99999999\n");
+  r = LoadDatasetFromStream(edges_in, tight);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("edge count exceeds limit"),
+            std::string::npos);
 }
 
 TEST_F(IoTest, HandWrittenFileLoads) {

@@ -1,0 +1,17 @@
+#pragma once
+// Fixture for the gradcheck-registry rule: `Frobnicate` has no entry in the
+// fixture gradcheck.cc, so the rule must fire on its declaration line (and
+// only there — Add is registered, Backward returns void, and MakeMask
+// returns Matrix so neither is an op the rule covers).
+
+namespace adpa::ag {
+
+class Variable;
+class Matrix;
+
+Variable Add(const Variable& a, const Variable& b);
+Variable Frobnicate(const Variable& a);
+Matrix MakeMask(const Variable& a);
+void Backward(const Variable& root);
+
+}  // namespace adpa::ag

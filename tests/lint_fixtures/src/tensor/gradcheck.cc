@@ -1,0 +1,13 @@
+// Fixture registry for the gradcheck-registry rule: registers the Add op
+// but deliberately omits the other op declared by the neighboring
+// autograd.h (mentioning that name here, even in a comment, would count as
+// registration — the rule scans for quoted strings anywhere in this file).
+
+namespace adpa::ag {
+
+void OpGradcheckRegistry() {
+  const char* registered = "Add";
+  (void)registered;
+}
+
+}  // namespace adpa::ag

@@ -88,6 +88,14 @@ class LintRuleTest(unittest.TestCase):
         rules = rules_for(self.findings, "src/graph/bad_header.h")
         self.assertEqual(rules, ["pragma-once"])
 
+    def test_gradcheck_registry_fires_on_unregistered_op(self):
+        hits = [(line, rule) for p, line, rule in self.findings
+                if p == "src/tensor/autograd.h"]
+        self.assertEqual({rule for _, rule in hits}, {"gradcheck-registry"})
+        # Only Frobnicate fires: Add is registered, MakeMask returns Matrix,
+        # Backward returns void.
+        self.assertEqual(len(hits), 1)
+
     def test_allow_escape_hatch_suppresses_everything(self):
         self.assertEqual(rules_for(self.findings, "src/models/allowed.cc"), [])
 

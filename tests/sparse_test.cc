@@ -253,6 +253,43 @@ TEST_F(SparseCsrDeathTest, UnsortedOrDuplicateColumnsAbort) {
       "columns not strictly increasing");
 }
 
+TEST(SparseCsrStatusTest, TryFromCsrReportsInsteadOfAborting) {
+  // The Status-returning path used by untrusted-input consumers (fuzz
+  // targets, future file readers): same validation as FromCsr, but every
+  // violation comes back as InvalidArgument instead of a process abort.
+  Result<SparseMatrix> ok =
+      SparseMatrix::TryFromCsr(2, 3, {0, 2, 3}, {0, 2, 1},
+                               {1.0f, 2.0f, 3.0f});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->nnz(), 3);
+
+  const auto expect_invalid = [](Result<SparseMatrix> r,
+                                 const std::string& substring) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find(substring), std::string::npos)
+        << r.status().ToString();
+  };
+  expect_invalid(SparseMatrix::TryFromCsr(-1, 3, {0}, {}, {}),
+                 "negative dimensions");
+  expect_invalid(SparseMatrix::TryFromCsr(2, 3, {0, 1}, {0}, {1.0f}),
+                 "row_ptr length");
+  expect_invalid(SparseMatrix::TryFromCsr(1, 3, {1, 1}, {}, {}),
+                 "does not start at 0");
+  expect_invalid(SparseMatrix::TryFromCsr(1, 3, {0, 2}, {0, 1}, {1.0f}),
+                 "length mismatch");
+  expect_invalid(SparseMatrix::TryFromCsr(1, 3, {0, 2}, {0}, {1.0f}),
+                 "does not end at nnz");
+  expect_invalid(SparseMatrix::TryFromCsr(3, 3, {0, 2, 1, 3}, {0, 1, 2},
+                                          {1.0f, 1.0f, 1.0f}),
+                 "not monotone");
+  expect_invalid(SparseMatrix::TryFromCsr(1, 3, {0, 1}, {3}, {1.0f}),
+                 "column out of range");
+  expect_invalid(SparseMatrix::TryFromCsr(1, 3, {0, 2}, {1, 1},
+                                          {1.0f, 1.0f}),
+                 "not strictly increasing");
+}
+
 TEST_F(SparseCsrDeathTest, FromTripletsRejectsOutOfRangeEntries) {
   EXPECT_DEATH(SparseMatrix::FromTriplets(2, 2, {{2, 0, 1.0f}}),
                "Check failed");

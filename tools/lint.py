@@ -30,6 +30,11 @@ Rules (ids used by the `// lint:allow(<rule>)` escape hatch):
                            breaks run-to-run reproducibility.
   pragma-once              every header in src/, tests/, bench/, tools/ must
                            use #pragma once.
+  gradcheck-registry       every Variable-returning op declared in
+                           src/tensor/autograd.h must appear (as a quoted
+                           string) in the gradcheck registry in
+                           src/tensor/gradcheck.cc, so a new autograd op
+                           cannot ship without finite-difference coverage.
 
 A finding on line N is suppressed by `// lint:allow(<rule>)` on line N or
 line N-1. Shell scripts under tools/ are additionally run through shellcheck
@@ -199,6 +204,46 @@ def check_pragma_once(rel_path, lines):
             "used in this repo)")
 
 
+GRADCHECK_HEADER = "src/tensor/autograd.h"
+GRADCHECK_SOURCE = "src/tensor/gradcheck.cc"
+# Namespace-level op declarations returning Variable. Ops returning plain
+# Matrix (e.g. DropoutMask) are helpers, not tape ops, and are exempt by
+# construction.
+VARIABLE_OP_RE = re.compile(r"^Variable\s+(\w+)\s*\(")
+QUOTED_NAME_RE = re.compile(r'"(\w+)"')
+
+
+def check_gradcheck_registry(root):
+    """Cross-file rule: autograd ops without a gradcheck registry entry.
+
+    Scans src/tensor/autograd.h for `Variable <Name>(...)` declarations and
+    requires each name to occur as a quoted string in src/tensor/gradcheck.cc
+    (where OpGradcheckRegistry() registers its cases). The string match is an
+    over-approximation — any mention counts — but a missing mention is
+    always a genuinely unregistered op.
+    """
+    header_path = os.path.join(root, GRADCHECK_HEADER)
+    if not os.path.exists(header_path):
+        return []
+    with open(header_path, encoding="utf-8", errors="replace") as f:
+        header_lines = f.read().splitlines()
+    registered = set()
+    source_path = os.path.join(root, GRADCHECK_SOURCE)
+    if os.path.exists(source_path):
+        with open(source_path, encoding="utf-8", errors="replace") as f:
+            registered = set(QUOTED_NAME_RE.findall(f.read()))
+    findings = []
+    for lineno, line in enumerate(header_lines, start=1):
+        match = VARIABLE_OP_RE.match(strip_line_comment(line))
+        if match and match.group(1) not in registered:
+            findings.append(Finding(
+                GRADCHECK_HEADER, lineno, "gradcheck-registry",
+                "op %s has no case in OpGradcheckRegistry() (%s); every "
+                "autograd op must be finite-difference checked" % (
+                    match.group(1), GRADCHECK_SOURCE)))
+    return [f for f in findings if not suppressed(f, header_lines)]
+
+
 def suppressed(finding, lines):
     """True if `// lint:allow(<rule>)` covers the finding's line."""
     for lineno in (finding.lineno, finding.lineno - 1):
@@ -293,6 +338,9 @@ def main():
     findings = []
     for rel_path in rel_paths:
         findings.extend(lint_file(root, rel_path))
+    norm_paths = {p.replace(os.sep, "/") for p in rel_paths}
+    if args.files is None or GRADCHECK_HEADER in norm_paths:
+        findings.extend(check_gradcheck_registry(root))
     if not args.no_shellcheck:
         findings.extend(run_shellcheck(root, rel_paths))
 
