@@ -1,0 +1,144 @@
+// serve_bench — latency/throughput benchmark for the batched serving path.
+//
+// Builds a registry benchmark, snapshots a freshly initialized ADPA model
+// into a checkpoint (training does not change inference cost), then drives
+// the InferenceSession + MicroBatcher stack with bursts of point queries at
+// 1, 2, and 8 kernel threads. Emits a JSON report (BENCH_serve.json via
+// tools/bench_to_json.sh): per-thread-count p50/p99/mean request latency
+// and sustained QPS.
+//
+//   serve_bench [--name=Texas --scale=1.0 --requests=400
+//                --nodes_per_request=8 --burst=16 --seed=1]
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/flags.h"
+#include "src/core/logging.h"
+#include "src/core/parallel.h"
+#include "src/core/random.h"
+#include "src/data/benchmarks.h"
+#include "src/io/checkpoint.h"
+#include "src/models/factory.h"
+#include "src/serve/batcher.h"
+#include "src/serve/engine.h"
+#include "src/serve/metrics.h"
+
+namespace adpa {
+namespace {
+
+struct RunStats {
+  int threads = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double qps = 0.0;
+  double mean_batch_requests = 0.0;
+  uint64_t requests = 0;
+};
+
+RunStats RunAtThreadCount(const serve::InferenceSession& session, int threads,
+                          int num_requests, int nodes_per_request, int burst,
+                          uint64_t seed) {
+  SetNumThreads(threads);
+  serve::ServeMetrics metrics;
+  serve::MicroBatcher batcher(&session, &metrics);
+  Rng rng(seed);
+
+  auto draw_nodes = [&] {
+    std::vector<int64_t> nodes(nodes_per_request);
+    for (int64_t& node : nodes) {
+      node = rng.UniformInt(session.num_nodes());
+    }
+    return nodes;
+  };
+
+  // Warmup: touch every code path once before timing.
+  auto warm = batcher.Submit(draw_nodes());
+  batcher.PumpOnce();
+  ADPA_CHECK(warm.Wait().ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<serve::MicroBatcher::Ticket> tickets;
+  tickets.reserve(burst);
+  int remaining = num_requests;
+  while (remaining > 0) {
+    const int in_burst = remaining < burst ? remaining : burst;
+    tickets.clear();
+    for (int i = 0; i < in_burst; ++i) {
+      tickets.push_back(batcher.Submit(draw_nodes()));
+    }
+    while (batcher.queue_depth() > 0) batcher.PumpOnce();
+    for (auto& ticket : tickets) ADPA_CHECK(ticket.Wait().ok());
+    remaining -= in_burst;
+  }
+  const double elapsed_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+  batcher.Shutdown();
+
+  const serve::MetricsSnapshot snapshot = metrics.Snapshot();
+  RunStats stats;
+  stats.threads = threads;
+  stats.p50_ms = snapshot.p50_latency_ms;
+  stats.p99_ms = snapshot.p99_latency_ms;
+  stats.mean_ms = snapshot.mean_latency_ms;
+  stats.mean_batch_requests = snapshot.mean_batch_requests;
+  stats.requests = snapshot.requests;
+  stats.qps = elapsed_s > 0.0
+                  ? static_cast<double>(num_requests + 1) / elapsed_s
+                  : 0.0;
+  return stats;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!flags.Parse(argc, argv)) return 2;
+  const std::string name = flags.GetString("name", "Texas");
+  const double scale = flags.GetDouble("scale", 1.0);
+  const int requests = static_cast<int>(flags.GetInt("requests", 400));
+  const int nodes_per_request =
+      static_cast<int>(flags.GetInt("nodes_per_request", 8));
+  const int burst = static_cast<int>(flags.GetInt("burst", 16));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  Result<Dataset> dataset = BuildBenchmarkByName(name, seed, scale);
+  ADPA_CHECK(dataset.ok()) << dataset.status().ToString();
+  Rng rng(seed);
+  ModelConfig config;
+  Result<ModelPtr> model = CreateModel("ADPA", *dataset, config, &rng);
+  ADPA_CHECK(model.ok()) << model.status().ToString();
+  const Checkpoint checkpoint =
+      MakeCheckpoint(**model, "ADPA", *dataset, config, TrainConfig());
+  Result<serve::InferenceSession> session =
+      serve::InferenceSession::Create(checkpoint, *dataset);
+  ADPA_CHECK(session.ok()) << session.status().ToString();
+
+  std::printf("{\n  \"bench\": \"serve\",\n  \"dataset\": \"%s\",\n"
+              "  \"nodes\": %lld,\n  \"requests\": %d,\n"
+              "  \"nodes_per_request\": %d,\n  \"burst\": %d,\n"
+              "  \"runs\": [\n",
+              dataset->name.c_str(),
+              static_cast<long long>(dataset->num_nodes()), requests,
+              nodes_per_request, burst);
+  const int thread_counts[] = {1, 2, 8};
+  for (size_t i = 0; i < 3; ++i) {
+    const RunStats stats =
+        RunAtThreadCount(*session, thread_counts[i], requests,
+                         nodes_per_request, burst, seed + i);
+    std::printf("    {\"threads\": %d, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                "\"mean_ms\": %.4f, \"qps\": %.1f, "
+                "\"mean_batch_requests\": %.2f}%s\n",
+                stats.threads, stats.p50_ms, stats.p99_ms, stats.mean_ms,
+                stats.qps, stats.mean_batch_requests, i + 1 < 3 ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace adpa
+
+int main(int argc, char** argv) { return adpa::Main(argc, argv); }

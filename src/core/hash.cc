@@ -1,0 +1,58 @@
+#include "src/core/hash.h"
+
+namespace adpa {
+namespace {
+
+/// CRC32 lookup table for the reflected IEEE polynomial 0xEDB88320,
+/// generated once at first use (byte-at-a-time variant; checkpoint payloads
+/// are a few MB at most, so table-per-byte throughput is ample).
+const uint32_t* Crc32Table() {
+  static const auto* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+void Crc32Accumulator::Update(const void* data, size_t size) {
+  const uint32_t* table = Crc32Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = state_;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  state_ = crc;
+}
+
+uint32_t Crc32(const void* data, size_t size) {
+  Crc32Accumulator acc;
+  acc.Update(data, size);
+  return acc.Digest();
+}
+
+void Fnv1aHasher::Update(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = state_;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  state_ = h;
+}
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  Fnv1aHasher hasher;
+  hasher.Update(data, size);
+  return hasher.Digest();
+}
+
+}  // namespace adpa

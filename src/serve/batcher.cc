@@ -1,0 +1,137 @@
+#include "src/serve/batcher.h"
+
+#include <utility>
+
+namespace adpa::serve {
+
+struct MicroBatcher::Ticket::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::optional<Result<std::vector<int64_t>>> result;
+};
+
+Result<std::vector<int64_t>> MicroBatcher::Ticket::Wait() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return *state_->result;
+}
+
+MicroBatcher::MicroBatcher(const InferenceSession* session,
+                           ServeMetrics* metrics)
+    : MicroBatcher(session, metrics, Options{}) {}
+
+MicroBatcher::MicroBatcher(const InferenceSession* session,
+                           ServeMetrics* metrics, Options options)
+    : session_(session), metrics_(metrics), options_(options) {}
+
+MicroBatcher::Ticket MicroBatcher::Submit(std::vector<int64_t> nodes) {
+  Ticket ticket;
+  ticket.state_ = std::make_shared<Ticket::State>();
+  Request request;
+  request.nodes = std::move(nodes);
+  // Wall-clock read is for queue-latency metrics only, never results.
+  // lint:allow(deterministic-randomness)
+  request.enqueue_time = std::chrono::steady_clock::now();
+  request.state = ticket.state_;
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      rejected = true;
+    } else {
+      queue_.push_back(std::move(request));
+      if (metrics_ != nullptr) {
+        metrics_->RecordQueueDepth(static_cast<int64_t>(queue_.size()));
+      }
+    }
+  }
+  if (rejected) {
+    Deliver(&request,
+            Status::FailedPrecondition("batcher is shut down"));
+  } else {
+    cv_.notify_one();
+  }
+  return ticket;
+}
+
+bool MicroBatcher::PumpOnce() {
+  std::vector<Request> batch;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return false;  // shut down and fully drained
+    int64_t total_nodes = 0;
+    while (!queue_.empty()) {
+      const int64_t request_nodes =
+          static_cast<int64_t>(queue_.front().nodes.size());
+      if (!batch.empty() &&
+          total_nodes + request_nodes > options_.max_batch_nodes) {
+        break;
+      }
+      total_nodes += request_nodes;
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+
+  std::vector<int64_t> merged;
+  for (const Request& request : batch) {
+    merged.insert(merged.end(), request.nodes.begin(), request.nodes.end());
+  }
+  if (metrics_ != nullptr) {
+    metrics_->RecordBatch(static_cast<int64_t>(batch.size()));
+  }
+  Result<std::vector<int64_t>> all = session_->Classify(merged);
+  size_t offset = 0;
+  for (Request& request : batch) {
+    if (all.ok()) {
+      std::vector<int64_t> slice(
+          all->begin() + static_cast<int64_t>(offset),
+          all->begin() + static_cast<int64_t>(offset + request.nodes.size()));
+      offset += request.nodes.size();
+      Deliver(&request, std::move(slice));
+    } else {
+      // One malformed request must not poison its batch mates: fall back
+      // to answering each request on its own so errors stay per-request.
+      Deliver(&request, session_->Classify(request.nodes));
+    }
+  }
+  return true;
+}
+
+void MicroBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+int64_t MicroBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+void MicroBatcher::Deliver(Request* request,
+                           Result<std::vector<int64_t>> result) {
+  // lint:allow(deterministic-randomness) — latency metric, not results
+  const auto now = std::chrono::steady_clock::now();
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(now - request->enqueue_time)
+          .count();
+  const bool ok = result.ok();
+  const int64_t nodes_answered =
+      ok ? static_cast<int64_t>(result->size()) : 0;
+  {
+    std::lock_guard<std::mutex> lock(request->state->mu);
+    request->state->result = std::move(result);
+    request->state->done = true;
+  }
+  request->state->cv.notify_all();
+  if (metrics_ != nullptr) {
+    metrics_->RecordRequest(latency_ms, nodes_answered, ok);
+  }
+}
+
+}  // namespace adpa::serve

@@ -1,0 +1,90 @@
+#pragma once
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/serve/engine.h"
+#include "src/serve/metrics.h"
+
+namespace adpa::serve {
+
+/// Micro-batching request queue in front of an InferenceSession.
+///
+/// Concurrent clients call `Submit` (thread-safe, returns a Ticket) and
+/// block on `Ticket::Wait`. A single pump thread — the caller who loops on
+/// `PumpOnce` — coalesces everything pending into one `Classify` call, so
+/// concurrent point queries share a single forward pass whose kernels
+/// fan out across the ParallelFor worker pool. The batcher itself spawns no
+/// threads (src/ bans raw std::thread); whoever owns the serving loop
+/// provides the pump.
+///
+/// Batching never changes answers: ForwardRows is row-wise, so a node's
+/// logits are bitwise identical no matter which batch it lands in.
+class MicroBatcher {
+ public:
+  struct Options {
+    /// Soft cap on nodes per coalesced forward; a single larger request
+    /// still runs alone rather than being split.
+    int64_t max_batch_nodes = 4096;
+  };
+
+  /// A client-side handle for one submitted request.
+  class Ticket {
+   public:
+    /// Blocks until the pump answers; returns the predicted class per
+    /// queried node, or the per-request error.
+    Result<std::vector<int64_t>> Wait();
+
+   private:
+    friend class MicroBatcher;
+    struct State;
+    std::shared_ptr<State> state_;
+  };
+
+  /// `session` and `metrics` must outlive the batcher; `metrics` may be
+  /// null.
+  MicroBatcher(const InferenceSession* session, ServeMetrics* metrics);
+  MicroBatcher(const InferenceSession* session, ServeMetrics* metrics,
+               Options options);
+
+  /// Enqueues a request. Thread-safe. After Shutdown, tickets resolve to
+  /// FailedPrecondition instead of being silently dropped.
+  Ticket Submit(std::vector<int64_t> nodes);
+
+  /// Blocks until at least one request is pending (or shutdown), coalesces
+  /// the queue into one forward, and delivers every reply. Returns false
+  /// once shut down with an empty queue — the pump loop's exit condition.
+  bool PumpOnce();
+
+  /// Wakes the pump and fails all future Submits. Idempotent.
+  void Shutdown();
+
+  /// Requests currently waiting (diagnostics; racy by nature).
+  int64_t queue_depth() const;
+
+ private:
+  struct Request {
+    std::vector<int64_t> nodes;
+    std::chrono::steady_clock::time_point enqueue_time;
+    std::shared_ptr<Ticket::State> state;
+  };
+
+  void Deliver(Request* request, Result<std::vector<int64_t>> result);
+
+  const InferenceSession* session_;
+  ServeMetrics* metrics_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace adpa::serve

@@ -1,0 +1,374 @@
+#include "src/serve/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/core/logging.h"
+
+namespace adpa::serve {
+namespace {
+
+/// Elementwise maps matching the ag::Relu / ag::Sigmoid forwards bit for
+/// bit (same expressions, same ApplyFn loop).
+void ReluInPlace(Matrix* m) {
+  m->ApplyFn([](float v) { return v > 0.0f ? v : 0.0f; });
+}
+void SigmoidInPlace(Matrix* m) {
+  m->ApplyFn([](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
+/// Positional reader over the checkpoint tensor list with shape checking.
+struct TensorCursor {
+  const std::vector<NamedTensor>& tensors;
+  size_t next = 0;
+
+  Status Take(int64_t rows, int64_t cols, const char* role, Matrix* out) {
+    if (next >= tensors.size()) {
+      return Status::InvalidArgument(
+          std::string("checkpoint is missing tensor for ") + role +
+          " (parameter list too short)");
+    }
+    const NamedTensor& tensor = tensors[next];
+    if (tensor.value.rows() != rows || tensor.value.cols() != cols) {
+      return Status::InvalidArgument(
+          std::string("checkpoint tensor ") + tensor.name + " bound to " +
+          role + " has shape " + std::to_string(tensor.value.rows()) + "x" +
+          std::to_string(tensor.value.cols()) + ", expected " +
+          std::to_string(rows) + "x" + std::to_string(cols));
+    }
+    *out = tensor.value;
+    ++next;
+    return Status::OK();
+  }
+};
+
+Matrix LinearForward(const Matrix& x, const Matrix& weight,
+                     const Matrix& bias) {
+  // Same kernels as nn::Linear::Forward: ag::MatMul then ag::AddBias.
+  return AddRowBroadcast(MatMul(x, weight), bias);
+}
+
+bool BlocksShapedLike(const std::vector<std::vector<Matrix>>& blocks,
+                      int steps, int64_t per_step, int64_t rows,
+                      int64_t cols) {
+  if (static_cast<int64_t>(blocks.size()) != steps) return false;
+  for (const auto& step_blocks : blocks) {
+    if (static_cast<int64_t>(step_blocks.size()) != per_step) return false;
+    for (const Matrix& block : step_blocks) {
+      if (block.rows() != rows || block.cols() != cols) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::vector<Matrix>> ComputePropagationBlocks(
+    const Dataset& dataset, const ModelConfig& config,
+    const std::vector<DirectedPattern>& patterns) {
+  // Mirrors the AdpaModel constructor's Eq. 9 loop exactly: iterated
+  // per-pattern states advanced one application per step.
+  const int steps = std::max(1, config.propagation_steps);
+  const int64_t k = static_cast<int64_t>(patterns.size());
+  PatternSet pattern_set(dataset.graph.AdjacencyMatrix(), config.conv_r,
+                         config.propagation_self_loops);
+  std::vector<Matrix> state(k, dataset.features);
+  std::vector<std::vector<Matrix>> blocks(steps);
+  for (int l = 0; l < steps; ++l) {
+    if (config.initial_residual) blocks[l].push_back(dataset.features);
+    pattern_set.ApplyStep(patterns, &state);
+    for (int64_t g = 0; g < k; ++g) blocks[l].push_back(state[g]);
+  }
+  return blocks;
+}
+
+Result<InferenceSession> InferenceSession::Create(
+    const Checkpoint& checkpoint, const Dataset& dataset,
+    const EngineOptions& options) {
+  const ModelConfig& config = checkpoint.model_config;
+  if (checkpoint.patterns.empty()) {
+    return Status::InvalidArgument(
+        "checkpoint records no DP patterns; serving supports ADPA "
+        "checkpoints only");
+  }
+  if (checkpoint.dataset_hash != 0 &&
+      checkpoint.dataset_hash != DatasetContentHash(dataset)) {
+    return Status::FailedPrecondition(
+        "dataset content hash does not match the checkpoint (graph, "
+        "features, or labels changed since training)");
+  }
+  const int64_t n = dataset.num_nodes();
+  const int64_t f = dataset.feature_dim();
+  const int64_t num_classes = dataset.num_classes;
+  if (n <= 0 || f <= 0 || num_classes <= 0) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (config.hidden <= 0) {
+    return Status::InvalidArgument("checkpoint has non-positive hidden dim");
+  }
+
+  InferenceSession session;
+  session.config_ = config;
+  session.steps_ = std::max(1, config.propagation_steps);
+  session.num_nodes_ = n;
+  session.num_classes_ = num_classes;
+  const int64_t k = static_cast<int64_t>(checkpoint.patterns.size());
+  const int64_t B = k + (config.initial_residual ? 1 : 0);
+  session.blocks_per_step_ = B;
+
+  // --- Eq. 9 precompute: sidecar cache hit, else replay (and refresh). ---
+  const PropagationCacheKey key =
+      MakePropagationCacheKey(dataset, config, checkpoint.patterns);
+  if (!options.propagation_cache_path.empty()) {
+    Result<PropagationCache> cached = TryLoadPropagationCache(
+        options.propagation_cache_path, options.limits);
+    if (cached.ok() && cached->key == key &&
+        BlocksShapedLike(cached->blocks, session.steps_, B, n, f)) {
+      session.blocks_ = std::move(cached->blocks);
+      session.used_propagation_cache_ = true;
+    }
+  }
+  if (!session.used_propagation_cache_) {
+    session.blocks_ =
+        ComputePropagationBlocks(dataset, config, checkpoint.patterns);
+    if (!options.propagation_cache_path.empty() &&
+        options.write_cache_on_miss) {
+      PropagationCache cache;
+      cache.key = key;
+      cache.blocks = session.blocks_;
+      // Best effort: a failed cache write only costs the next startup.
+      const Status cache_write =
+          SavePropagationCache(cache, options.propagation_cache_path);
+      (void)cache_write;
+    }
+  }
+
+  // --- Bind tensors positionally, mirroring AdpaModel::Parameters(). ---
+  TensorCursor cursor{checkpoint.tensors};
+  const int64_t h = config.hidden;
+  if (config.use_dp_attention) {
+    switch (config.dp_attention) {
+      case DpAttention::kOriginal:
+        ADPA_RETURN_IF_ERROR(
+            cursor.Take(n, B, "dp_weights", &session.dp_weights_));
+        break;
+      case DpAttention::kGate:
+        session.gate_layers_.resize(B);
+        for (int64_t g = 0; g < B; ++g) {
+          ADPA_RETURN_IF_ERROR(cursor.Take(
+              f, 1, "gate weight", &session.gate_layers_[g].weight));
+          ADPA_RETURN_IF_ERROR(
+              cursor.Take(1, 1, "gate bias", &session.gate_layers_[g].bias));
+        }
+        break;
+      case DpAttention::kRecursive:
+        session.recursive_layers_.resize(B);
+        for (int64_t g = 0; g < B; ++g) {
+          ADPA_RETURN_IF_ERROR(
+              cursor.Take(2 * f, 1, "recursive weight",
+                          &session.recursive_layers_[g].weight));
+          ADPA_RETURN_IF_ERROR(cursor.Take(
+              1, 1, "recursive bias", &session.recursive_layers_[g].bias));
+        }
+        break;
+      case DpAttention::kJk:
+        break;
+    }
+  }
+  const bool uses_jk_fuse =
+      config.use_dp_attention && (config.dp_attention == DpAttention::kJk ||
+                                  config.dp_attention == DpAttention::kRecursive);
+  if (!uses_jk_fuse) {
+    session.dp_fuse_.resize(2);
+    ADPA_RETURN_IF_ERROR(cursor.Take(B * f, h, "dp_fuse layer 0 weight",
+                                     &session.dp_fuse_[0].weight));
+    ADPA_RETURN_IF_ERROR(cursor.Take(1, h, "dp_fuse layer 0 bias",
+                                     &session.dp_fuse_[0].bias));
+    ADPA_RETURN_IF_ERROR(cursor.Take(h, h, "dp_fuse layer 1 weight",
+                                     &session.dp_fuse_[1].weight));
+    ADPA_RETURN_IF_ERROR(cursor.Take(1, h, "dp_fuse layer 1 bias",
+                                     &session.dp_fuse_[1].bias));
+  } else {
+    const int64_t jk_in =
+        config.dp_attention == DpAttention::kJk ? B * f : f;
+    ADPA_RETURN_IF_ERROR(
+        cursor.Take(jk_in, h, "jk_fuse weight", &session.jk_fuse_.weight));
+    ADPA_RETURN_IF_ERROR(
+        cursor.Take(1, h, "jk_fuse bias", &session.jk_fuse_.bias));
+  }
+  if (config.use_hop_attention) {
+    ADPA_RETURN_IF_ERROR(cursor.Take(session.steps_ * h, session.steps_,
+                                     "hop_scorer weight",
+                                     &session.hop_scorer_.weight));
+    ADPA_RETURN_IF_ERROR(cursor.Take(1, session.steps_, "hop_scorer bias",
+                                     &session.hop_scorer_.bias));
+  }
+  const int classifier_layers = std::max(1, config.num_layers - 1);
+  session.classifier_.resize(classifier_layers);
+  for (int i = 0; i < classifier_layers; ++i) {
+    const int64_t in = i == 0 ? h : h;
+    const int64_t out = i + 1 == classifier_layers ? num_classes : h;
+    ADPA_RETURN_IF_ERROR(cursor.Take(in, out, "classifier weight",
+                                     &session.classifier_[i].weight));
+    ADPA_RETURN_IF_ERROR(
+        cursor.Take(1, out, "classifier bias", &session.classifier_[i].bias));
+  }
+  if (cursor.next != checkpoint.tensors.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " +
+        std::to_string(checkpoint.tensors.size() - cursor.next) +
+        " unconsumed tensors (config mismatch)");
+  }
+  return session;
+}
+
+Matrix InferenceSession::MlpForward(const std::vector<LinearParams>& layers,
+                                    const Matrix& input) const {
+  // nn::Mlp::Forward in eval mode: activation between layers, dropout is
+  // the identity, no activation after the last layer.
+  Matrix h = LinearForward(input, layers[0].weight, layers[0].bias);
+  for (size_t i = 1; i < layers.size(); ++i) {
+    ReluInPlace(&h);
+    h = LinearForward(h, layers[i].weight, layers[i].bias);
+  }
+  return h;
+}
+
+Matrix InferenceSession::FuseStep(const std::vector<Matrix>& blocks,
+                                  const Matrix& dp_rows) const {
+  const int64_t num_blocks = static_cast<int64_t>(blocks.size());
+  if (!config_.use_dp_attention) {
+    Matrix mean = blocks[0];
+    for (int64_t g = 1; g < num_blocks; ++g) mean = Add(mean, blocks[g]);
+    mean = Scale(mean, 1.0f / static_cast<float>(num_blocks));
+    std::vector<Matrix> replicated(num_blocks, mean);
+    Matrix fused = MlpForward(dp_fuse_, ConcatCols(replicated));
+    ReluInPlace(&fused);
+    return fused;
+  }
+  switch (config_.dp_attention) {
+    case DpAttention::kOriginal: {
+      Matrix weights = SoftmaxRows(dp_rows);
+      std::vector<Matrix> scaled;
+      scaled.reserve(num_blocks);
+      for (int64_t g = 0; g < num_blocks; ++g) {
+        scaled.push_back(ScaleRows(blocks[g], SliceCols(weights, g, g + 1)));
+      }
+      Matrix fused = MlpForward(dp_fuse_, ConcatCols(scaled));
+      ReluInPlace(&fused);
+      return fused;
+    }
+    case DpAttention::kGate: {
+      std::vector<Matrix> scaled;
+      scaled.reserve(num_blocks);
+      for (int64_t g = 0; g < num_blocks; ++g) {
+        Matrix gate = LinearForward(blocks[g], gate_layers_[g].weight,
+                                    gate_layers_[g].bias);
+        SigmoidInPlace(&gate);
+        scaled.push_back(ScaleRows(blocks[g], gate));
+      }
+      Matrix fused = MlpForward(dp_fuse_, ConcatCols(scaled));
+      ReluInPlace(&fused);
+      return fused;
+    }
+    case DpAttention::kRecursive: {
+      Matrix acc = blocks[0];
+      for (int64_t g = 1; g < num_blocks; ++g) {
+        Matrix score =
+            LinearForward(ConcatCols(blocks[g], acc),
+                          recursive_layers_[g].weight,
+                          recursive_layers_[g].bias);
+        SigmoidInPlace(&score);
+        acc = Add(acc, ScaleRows(blocks[g], score));
+      }
+      Matrix fused = LinearForward(acc, jk_fuse_.weight, jk_fuse_.bias);
+      ReluInPlace(&fused);
+      return fused;
+    }
+    case DpAttention::kJk: {
+      Matrix fused =
+          LinearForward(ConcatCols(blocks), jk_fuse_.weight, jk_fuse_.bias);
+      ReluInPlace(&fused);
+      return fused;
+    }
+  }
+  ADPA_CHECK(false) << "unreachable";
+  return blocks[0];
+}
+
+Matrix InferenceSession::ForwardBlocks(
+    const std::vector<std::vector<Matrix>>& blocks,
+    const Matrix& dp_rows) const {
+  std::vector<Matrix> fused;
+  fused.reserve(blocks.size());
+  for (const auto& step_blocks : blocks) {
+    fused.push_back(FuseStep(step_blocks, dp_rows));
+  }
+
+  Matrix combined;
+  if (config_.use_hop_attention && steps_ > 1) {
+    Matrix scores = SoftmaxRows(
+        LinearForward(ConcatCols(fused), hop_scorer_.weight,
+                      hop_scorer_.bias));
+    for (int l = 0; l < steps_; ++l) {
+      Matrix weighted = ScaleRows(fused[l], SliceCols(scores, l, l + 1));
+      combined = l == 0 ? std::move(weighted) : Add(combined, weighted);
+    }
+  } else {
+    combined = fused[0];
+    for (int l = 1; l < steps_; ++l) combined = Add(combined, fused[l]);
+    if (steps_ > 1) {
+      combined = Scale(combined, 1.0f / static_cast<float>(steps_));
+    }
+  }
+  // Training applies Dropout here; in eval mode it is the identity.
+  return MlpForward(classifier_, combined);
+}
+
+Matrix InferenceSession::ForwardAll() const {
+  return ForwardBlocks(blocks_, dp_weights_);
+}
+
+Result<Matrix> InferenceSession::ForwardRows(
+    const std::vector<int64_t>& nodes) const {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("empty node list");
+  }
+  for (int64_t node : nodes) {
+    if (node < 0 || node >= num_nodes_) {
+      return Status::OutOfRange("node index " + std::to_string(node) +
+                                " out of range [0, " +
+                                std::to_string(num_nodes_) + ")");
+    }
+  }
+  std::vector<std::vector<Matrix>> gathered(blocks_.size());
+  for (size_t l = 0; l < blocks_.size(); ++l) {
+    gathered[l].reserve(blocks_[l].size());
+    for (const Matrix& block : blocks_[l]) {
+      gathered[l].push_back(GatherRows(block, nodes));
+    }
+  }
+  const Matrix dp_rows = dp_weights_.empty()
+                             ? Matrix()
+                             : GatherRows(dp_weights_, nodes);
+  return ForwardBlocks(gathered, dp_rows);
+}
+
+Result<std::vector<int64_t>> InferenceSession::Classify(
+    const std::vector<int64_t>& nodes) const {
+  Result<Matrix> logits = ForwardRows(nodes);
+  ADPA_RETURN_IF_ERROR(logits.status());
+  std::vector<int64_t> classes(nodes.size());
+  for (int64_t r = 0; r < logits->rows(); ++r) {
+    const float* row = logits->Row(r);
+    int64_t best = 0;
+    for (int64_t c = 1; c < logits->cols(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    classes[static_cast<size_t>(r)] = best;
+  }
+  return classes;
+}
+
+}  // namespace adpa::serve

@@ -1,0 +1,170 @@
+#include "src/serve/jsonl.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace adpa::serve {
+namespace {
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("malformed request: " + what);
+}
+
+/// Cursor over one request line for the restricted JSON grammar.
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseInt(int64_t* out) {
+    SkipSpace();
+    const size_t start = pos;
+    bool negative = false;
+    if (pos < text.size() && text[pos] == '-') {
+      negative = true;
+      ++pos;
+    }
+    int64_t value = 0;
+    size_t digits = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      if (++digits > 18) {
+        return Malformed("integer too large at offset " +
+                         std::to_string(start));
+      }
+      value = value * 10 + (text[pos] - '0');
+      ++pos;
+    }
+    if (digits == 0) {
+      return Malformed("expected integer at offset " + std::to_string(start));
+    }
+    *out = negative ? -value : value;
+    return Status::OK();
+  }
+
+  /// Keys are bare identifiers in this schema — no escapes to handle.
+  Status ParseKey(std::string* out) {
+    if (!Consume('"')) return Malformed("expected '\"' to open a key");
+    const size_t start = pos;
+    while (pos < text.size() && text[pos] != '"') ++pos;
+    if (pos >= text.size()) return Malformed("unterminated key");
+    *out = text.substr(start, pos - start);
+    ++pos;  // closing quote
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<ServeRequest> ParseRequestLine(const std::string& line,
+                                      uint64_t max_nodes) {
+  Parser parser{line};
+  if (!parser.Consume('{')) return Malformed("expected '{'");
+  ServeRequest request;
+  bool saw_id = false, saw_nodes = false;
+  while (true) {
+    std::string key;
+    ADPA_RETURN_IF_ERROR(parser.ParseKey(&key));
+    if (!parser.Consume(':')) return Malformed("expected ':' after key");
+    if (key == "id") {
+      if (saw_id) return Malformed("duplicate \"id\"");
+      ADPA_RETURN_IF_ERROR(parser.ParseInt(&request.id));
+      saw_id = true;
+    } else if (key == "nodes") {
+      if (saw_nodes) return Malformed("duplicate \"nodes\"");
+      if (!parser.Consume('[')) return Malformed("expected '[' for nodes");
+      if (!parser.Consume(']')) {
+        while (true) {
+          int64_t node = 0;
+          ADPA_RETURN_IF_ERROR(parser.ParseInt(&node));
+          if (request.nodes.size() >= max_nodes) {
+            return Malformed("nodes array exceeds limit");
+          }
+          request.nodes.push_back(node);
+          if (parser.Consume(']')) break;
+          if (!parser.Consume(',')) {
+            return Malformed("expected ',' or ']' in nodes");
+          }
+        }
+      }
+      saw_nodes = true;
+    } else {
+      return Malformed("unknown key \"" + key + "\"");
+    }
+    if (parser.Consume('}')) break;
+    if (!parser.Consume(',')) return Malformed("expected ',' or '}'");
+  }
+  parser.SkipSpace();
+  if (parser.pos != line.size()) {
+    return Malformed("trailing characters after '}'");
+  }
+  if (!saw_id) return Malformed("missing \"id\"");
+  if (!saw_nodes) return Malformed("missing \"nodes\"");
+  return request;
+}
+
+std::string FormatClassesReply(int64_t id,
+                               const std::vector<int64_t>& classes) {
+  std::string out = "{\"id\":" + std::to_string(id) + ",\"classes\":[";
+  for (size_t i = 0; i < classes.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(classes[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FormatErrorReply(int64_t id, const std::string& message) {
+  return "{\"id\":" + std::to_string(id) + ",\"error\":\"" +
+         EscapeJsonString(message) + "\"}";
+}
+
+std::string EscapeJsonString(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace adpa::serve

@@ -1,0 +1,34 @@
+#pragma once
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+
+namespace adpa::serve {
+
+/// One JSON-lines inference request: {"id": 7, "nodes": [0, 12, 3]}.
+struct ServeRequest {
+  int64_t id = 0;
+  std::vector<int64_t> nodes;
+};
+
+/// Parses exactly the serving request schema — an object with an integer
+/// "id" and an integer array "nodes", in either order, nothing else.
+/// Hand-rolled on purpose: no JSON dependency, hostile input comes back as
+/// a Status (never a crash), and the restricted grammar keeps the parser
+/// auditable. Limits: `max_nodes` bounds the array before it is built.
+Result<ServeRequest> ParseRequestLine(const std::string& line,
+                                      uint64_t max_nodes = 1u << 20);
+
+/// {"id":7,"classes":[1,0,2]} — integers only, so golden-file comparisons
+/// never trip over float formatting.
+std::string FormatClassesReply(int64_t id, const std::vector<int64_t>& classes);
+
+/// {"id":7,"error":"..."} with the message JSON-escaped.
+std::string FormatErrorReply(int64_t id, const std::string& message);
+
+/// Escapes backslash, double quote, and control characters (\uXXXX).
+std::string EscapeJsonString(const std::string& text);
+
+}  // namespace adpa::serve

@@ -1,0 +1,61 @@
+#include "src/serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adpa::serve {
+
+void ServeMetrics::RecordRequest(double latency_ms, int64_t nodes_answered,
+                                 bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_;
+  if (!ok) ++errors_;
+  nodes_ += static_cast<uint64_t>(nodes_answered);
+  latencies_ms_.push_back(latency_ms);
+}
+
+void ServeMetrics::RecordBatch(int64_t coalesced_requests) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  batched_requests_ += static_cast<uint64_t>(coalesced_requests);
+}
+
+void ServeMetrics::RecordQueueDepth(int64_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_queue_depth_ = std::max(max_queue_depth_, depth);
+}
+
+MetricsSnapshot ServeMetrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.requests = requests_;
+  snapshot.errors = errors_;
+  snapshot.nodes = nodes_;
+  snapshot.batches = batches_;
+  snapshot.max_queue_depth = max_queue_depth_;
+  if (batches_ > 0) {
+    snapshot.mean_batch_requests =
+        static_cast<double>(batched_requests_) / static_cast<double>(batches_);
+  }
+  if (!latencies_ms_.empty()) {
+    double total = 0.0;
+    for (double v : latencies_ms_) total += v;
+    snapshot.mean_latency_ms =
+        total / static_cast<double>(latencies_ms_.size());
+    snapshot.p50_latency_ms = Percentile(latencies_ms_, 50.0);
+    snapshot.p99_latency_ms = Percentile(latencies_ms_, 99.0);
+  }
+  return snapshot;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  // Nearest-rank: smallest value with at least p% of samples at or below it.
+  const size_t rank = static_cast<size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace adpa::serve

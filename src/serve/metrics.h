@@ -1,0 +1,48 @@
+#pragma once
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace adpa::serve {
+
+/// Point-in-time view of the serving counters.
+struct MetricsSnapshot {
+  uint64_t requests = 0;       ///< completed requests (ok or error)
+  uint64_t errors = 0;         ///< requests answered with a non-OK Status
+  uint64_t nodes = 0;          ///< total node queries answered
+  uint64_t batches = 0;        ///< forward passes executed
+  int64_t max_queue_depth = 0; ///< high-water mark of pending requests
+  double mean_batch_requests = 0.0;  ///< requests coalesced per forward
+  double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+};
+
+/// Thread-safe request/batch/queue-depth counters for the serving path.
+/// Latency samples are recorded by the batcher (enqueue → reply delivery)
+/// and summarized on demand; wall-clock reads stay in the batcher so this
+/// class is trivially testable with synthetic samples.
+class ServeMetrics {
+ public:
+  void RecordRequest(double latency_ms, int64_t nodes_answered, bool ok);
+  void RecordBatch(int64_t coalesced_requests);
+  void RecordQueueDepth(int64_t depth);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t requests_ = 0;
+  uint64_t errors_ = 0;
+  uint64_t nodes_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t batched_requests_ = 0;
+  int64_t max_queue_depth_ = 0;
+  std::vector<double> latencies_ms_;
+};
+
+/// Nearest-rank percentile (p in [0, 100]) of `values`; 0 when empty.
+/// Deterministic: sorts a copy, no interpolation.
+double Percentile(std::vector<double> values, double p);
+
+}  // namespace adpa::serve

@@ -314,12 +314,11 @@ Variable SliceCols(const Variable& a, int64_t begin, int64_t end) {
   ADPA_CHECK_LE(begin, end);
   ADPA_CHECK_LE(end, a.cols());
   auto pa = a.node();
-  Matrix out(a.rows(), end - begin);
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    std::copy(a.value().Row(r) + begin, a.value().Row(r) + end, out.Row(r));
-  }
+  // Forward shares adpa::SliceCols with the no-tape serving path (bitwise
+  // parity between training-eval and serving is asserted in serve_test).
   return Variable(
-      MakeOp("SliceCols", std::move(out), {pa}, [pa, begin, end](const Matrix& g) {
+      MakeOp("SliceCols", adpa::SliceCols(a.value(), begin, end), {pa},
+             [pa, begin, end](const Matrix& g) {
         if (!pa->requires_grad) return;
         Matrix expanded(pa->value.rows(), pa->value.cols());
         for (int64_t r = 0; r < g.rows(); ++r) {
@@ -335,13 +334,9 @@ Variable ScaleRows(const Variable& a, const Variable& scales) {
   ADPA_CHECK_EQ(scales.rows(), a.rows());
   auto pa = a.node();
   auto ps = scales.node();
-  Matrix out = a.value();
-  for (int64_t r = 0; r < out.rows(); ++r) {
-    const float s = scales.value().At(r, 0);
-    float* row = out.Row(r);
-    for (int64_t c = 0; c < out.cols(); ++c) row[c] *= s;
-  }
-  return Variable(MakeOp("ScaleRows", std::move(out), {pa, ps}, [pa, ps](const Matrix& g) {
+  // Forward shares adpa::ScaleRows with the no-tape serving path.
+  return Variable(MakeOp("ScaleRows", adpa::ScaleRows(a.value(), scales.value()),
+                         {pa, ps}, [pa, ps](const Matrix& g) {
     if (pa->requires_grad) {
       Matrix da = g;
       for (int64_t r = 0; r < da.rows(); ++r) {

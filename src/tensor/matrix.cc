@@ -457,6 +457,40 @@ Matrix SoftmaxRows(const Matrix& a) {
   return out;
 }
 
+Matrix ScaleRows(const Matrix& a, const Matrix& scales) {
+  ADPA_CHECK_EQ(scales.cols(), 1);
+  ADPA_CHECK_EQ(scales.rows(), a.rows());
+  Matrix out = a;
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    const float s = scales.At(r, 0);
+    float* row = out.Row(r);
+    for (int64_t c = 0; c < out.cols(); ++c) row[c] *= s;
+  }
+  return out;
+}
+
+Matrix SliceCols(const Matrix& a, int64_t begin, int64_t end) {
+  ADPA_CHECK_GE(begin, 0);
+  ADPA_CHECK_LE(begin, end);
+  ADPA_CHECK_LE(end, a.cols());
+  Matrix out(a.rows(), end - begin);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    std::copy(a.Row(r) + begin, a.Row(r) + end, out.Row(r));
+  }
+  return out;
+}
+
+Matrix GatherRows(const Matrix& a, const std::vector<int64_t>& rows) {
+  Matrix out(static_cast<int64_t>(rows.size()), a.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const int64_t r = rows[i];
+    ADPA_CHECK_GE(r, 0);
+    ADPA_CHECK_LT(r, a.rows());
+    std::copy(a.Row(r), a.Row(r) + a.cols(), out.Row(static_cast<int64_t>(i)));
+  }
+  return out;
+}
+
 bool AllClose(const Matrix& a, const Matrix& b, float tolerance) {
   if (!a.SameShape(b)) return false;
   for (int64_t i = 0; i < a.size(); ++i) {

@@ -193,6 +193,18 @@ Matrix AddRowBroadcast(const Matrix& a, const Matrix& row);
 /// Row-wise softmax (parallel over rows; per-row math unchanged).
 Matrix SoftmaxRows(const Matrix& a);
 
+/// Scales row r of `a` by scales(r, 0). `scales` must be a.rows() x 1.
+/// Shared by the autograd ScaleRows forward and the no-tape serving path so
+/// both produce bitwise-identical values.
+Matrix ScaleRows(const Matrix& a, const Matrix& scales);
+
+/// Returns columns [begin, end) as a new matrix.
+Matrix SliceCols(const Matrix& a, int64_t begin, int64_t end);
+
+/// Returns the given rows of `a`, in order (duplicates allowed). Every row
+/// index must lie in [0, a.rows()).
+Matrix GatherRows(const Matrix& a, const std::vector<int64_t>& rows);
+
 /// True when all entries differ by at most `tolerance`.
 bool AllClose(const Matrix& a, const Matrix& b, float tolerance = 1e-5f);
 

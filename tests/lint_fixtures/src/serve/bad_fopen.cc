@@ -1,0 +1,18 @@
+// Fixture: raw C stdio in the serving layer. src/io/ and src/serve/ must
+// do all file access through the checked stream APIs (BinaryReader /
+// BinaryWriter over std::fstream) so every failure is a Status.
+#include <cstdio>
+
+bool SlurpCheckpoint(const char* path, char* buffer, unsigned long size) {
+  FILE* file = std::fopen(path, "rb");
+  if (file == nullptr) return false;
+  unsigned long got = std::fread(buffer, 1, size, file);
+  std::fclose(file);
+  return got == size;
+}
+
+// Must NOT be flagged: bounded formatting into a buffer is not file I/O
+// (the JSON-lines formatter uses it for \uXXXX escapes).
+void FormatEscape(char* buffer, unsigned long size, unsigned value) {
+  std::snprintf(buffer, size, "\\u%04x", value);
+}

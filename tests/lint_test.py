@@ -79,6 +79,14 @@ class LintRuleTest(unittest.TestCase):
         # not, so exactly two lines fire.
         self.assertEqual(len(hits), 2)
 
+    def test_no_direct_io_fires_on_raw_stdio_in_serve_layer(self):
+        hits = [(line, rule) for p, line, rule in self.findings
+                if p == "src/serve/bad_fopen.cc"]
+        self.assertEqual({rule for _, rule in hits}, {"no-direct-io"})
+        # The FILE*/fopen line, fread, and fclose fire (one finding per
+        # line); snprintf does not.
+        self.assertEqual(len(hits), 3)
+
     def test_no_unordered_iteration_fires_on_range_for_only(self):
         hits = [line for p, line, rule in self.findings
                 if p == "src/models/bad_unordered.cc"]

@@ -3,6 +3,7 @@
 // pin down the defining equation of each method.
 
 #include <cmath>
+#include <cstring>
 #include <numbers>
 
 #include <gtest/gtest.h>
@@ -291,6 +292,32 @@ TEST(AdpaSemanticsTest, OnSymmetricGraphOutInPatternsCoincide) {
   const Matrix via_out = patterns.Apply(DirectedPattern{{Hop::kOut}}, x);
   const Matrix via_in = patterns.Apply(DirectedPattern{{Hop::kIn}}, x);
   EXPECT_TRUE(AllClose(via_out, via_in, 1e-5f));
+}
+
+TEST(AdpaSemanticsTest, EvalForwardIsDeterministicAndDropoutFree) {
+  // The serving contract (src/serve/engine.h) leans on eval-mode Dropout
+  // being the exact identity: two eval forwards must agree bitwise with
+  // each other even while the Rng advances, and training-mode forwards must
+  // differ (dropout actually firing) — a regression guard against dropout
+  // leaking into the eval path.
+  Dataset ds = Tiny(16);
+  Rng rng(16);
+  ModelConfig config;
+  config.hidden = 16;
+  config.dropout = 0.5f;
+  ModelPtr model = std::move(CreateModel("ADPA", ds, config, &rng)).value();
+
+  const Matrix eval_a = model->Forward(/*training=*/false, &rng).value();
+  const Matrix train_out = model->Forward(/*training=*/true, &rng).value();
+  const Matrix eval_b = model->Forward(/*training=*/false, &rng).value();
+
+  ASSERT_TRUE(eval_a.SameShape(eval_b));
+  EXPECT_EQ(std::memcmp(eval_a.data(), eval_b.data(),
+                        static_cast<size_t>(eval_a.size()) * sizeof(float)),
+            0)
+      << "eval forward must be bitwise repeatable (Dropout as identity)";
+  EXPECT_FALSE(AllClose(train_out, eval_a, 1e-6f))
+      << "training forward should differ once dropout fires";
 }
 
 }  // namespace

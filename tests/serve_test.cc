@@ -1,0 +1,314 @@
+// Serving subsystem tests: the no-tape InferenceSession must be bitwise
+// identical to the training model's eval forward for every DP-attention
+// variant and ablation; batched/subset queries must match full forwards;
+// the micro-batcher must answer concurrent clients correctly; the JSON
+// lines codec must accept exactly the request schema.
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/data/generators.h"
+#include "src/data/splits.h"
+#include "src/io/checkpoint.h"
+#include "src/models/factory.h"
+#include "src/serve/batcher.h"
+#include "src/serve/engine.h"
+#include "src/serve/jsonl.h"
+#include "src/serve/metrics.h"
+#include "src/train/trainer.h"
+
+namespace adpa {
+namespace {
+
+Dataset Tiny(uint64_t seed = 5) {
+  DsbmConfig config;
+  config.num_nodes = 60;
+  config.num_classes = 3;
+  config.avg_out_degree = 4.0;
+  config.class_transition = HomophilousTransition(3, 0.7);
+  config.feature_dim = 6;
+  config.seed = seed;
+  Dataset ds = std::move(GenerateDsbm(config)).value();
+  Rng rng(seed);
+  Split split =
+      std::move(SplitFractions(ds.labels, 3, 0.5, 0.25, &rng)).value();
+  ds.train_idx = split.train;
+  ds.val_idx = split.val;
+  ds.test_idx = split.test;
+  return ds;
+}
+
+bool BitwiseEqual(const Matrix& a, const Matrix& b) {
+  return a.SameShape(b) &&
+         (a.size() == 0 ||
+          std::memcmp(a.data(), b.data(),
+                      static_cast<size_t>(a.size()) * sizeof(float)) == 0);
+}
+
+struct SessionFixture {
+  Dataset dataset;
+  ModelPtr model;
+  Checkpoint checkpoint;
+  Matrix eval_logits;
+
+  SessionFixture(ModelConfig config, uint64_t seed = 21)
+      : dataset(Tiny(seed)) {
+    Rng rng(seed);
+    model = std::move(CreateModel("ADPA", dataset, config, &rng)).value();
+    eval_logits = model->Forward(/*training=*/false, &rng).value();
+    checkpoint =
+        MakeCheckpoint(*model, "ADPA", dataset, config, TrainConfig());
+  }
+
+  serve::InferenceSession Session(
+      const serve::EngineOptions& options = {}) const {
+    Result<serve::InferenceSession> session =
+        serve::InferenceSession::Create(checkpoint, dataset, options);
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    return std::move(*session);
+  }
+};
+
+ModelConfig SmallConfig() {
+  ModelConfig config;
+  config.hidden = 16;
+  config.dropout = 0.4f;  // must be elided in eval — the parity proves it
+  return config;
+}
+
+TEST(InferenceSessionTest, MatchesEvalForwardBitwiseForEveryVariant) {
+  for (DpAttention variant :
+       {DpAttention::kOriginal, DpAttention::kGate, DpAttention::kRecursive,
+        DpAttention::kJk}) {
+    ModelConfig config = SmallConfig();
+    config.dp_attention = variant;
+    SessionFixture fixture(config);
+    serve::InferenceSession session = fixture.Session();
+    EXPECT_TRUE(BitwiseEqual(session.ForwardAll(), fixture.eval_logits))
+        << "variant " << static_cast<int>(variant)
+        << " diverged from the training-path eval forward";
+  }
+}
+
+TEST(InferenceSessionTest, MatchesEvalForwardForAblations) {
+  {
+    ModelConfig config = SmallConfig();
+    config.use_dp_attention = false;
+    SessionFixture fixture(config);
+    EXPECT_TRUE(
+        BitwiseEqual(fixture.Session().ForwardAll(), fixture.eval_logits));
+  }
+  {
+    ModelConfig config = SmallConfig();
+    config.use_hop_attention = false;
+    SessionFixture fixture(config);
+    EXPECT_TRUE(
+        BitwiseEqual(fixture.Session().ForwardAll(), fixture.eval_logits));
+  }
+  {
+    ModelConfig config = SmallConfig();
+    config.initial_residual = false;
+    SessionFixture fixture(config);
+    EXPECT_TRUE(
+        BitwiseEqual(fixture.Session().ForwardAll(), fixture.eval_logits));
+  }
+  {
+    ModelConfig config = SmallConfig();
+    config.propagation_steps = 1;  // hop attention degenerates
+    config.num_layers = 3;         // deeper classifier head
+    SessionFixture fixture(config);
+    EXPECT_TRUE(
+        BitwiseEqual(fixture.Session().ForwardAll(), fixture.eval_logits));
+  }
+}
+
+TEST(InferenceSessionTest, ForwardRowsEqualsFullForwardRows) {
+  SessionFixture fixture(SmallConfig());
+  serve::InferenceSession session = fixture.Session();
+  const std::vector<int64_t> nodes = {5, 0, 17, 5, 59};
+  Result<Matrix> subset = session.ForwardRows(nodes);
+  ASSERT_TRUE(subset.ok());
+  ASSERT_EQ(subset->rows(), static_cast<int64_t>(nodes.size()));
+  const Matrix full = session.ForwardAll();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (int64_t c = 0; c < full.cols(); ++c) {
+      EXPECT_EQ(subset->At(static_cast<int64_t>(i), c),
+                full.At(nodes[i], c))
+          << "row " << i << " (node " << nodes[i] << ") col " << c;
+    }
+  }
+}
+
+TEST(InferenceSessionTest, RejectsBadInputs) {
+  SessionFixture fixture(SmallConfig());
+  serve::InferenceSession session = fixture.Session();
+  EXPECT_FALSE(session.ForwardRows({}).ok());
+  EXPECT_FALSE(session.ForwardRows({-1}).ok());
+  EXPECT_FALSE(session.ForwardRows({session.num_nodes()}).ok());
+
+  // Wrong dataset: content hash must protect the deployment.
+  Dataset other = Tiny(99);
+  Result<serve::InferenceSession> mismatch =
+      serve::InferenceSession::Create(fixture.checkpoint, other);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kFailedPrecondition);
+
+  // Truncated tensor list: positional binding must fail loudly.
+  Checkpoint broken = fixture.checkpoint;
+  broken.tensors.pop_back();
+  EXPECT_FALSE(
+      serve::InferenceSession::Create(broken, fixture.dataset).ok());
+}
+
+TEST(InferenceSessionTest, PropagationCacheHitReproducesResults) {
+  SessionFixture fixture(SmallConfig());
+  serve::EngineOptions options;
+  options.propagation_cache_path =
+      testing::TempDir() + "/serve_propagation.cache";
+  std::remove(options.propagation_cache_path.c_str());  // stale previous run
+  serve::InferenceSession first = fixture.Session(options);
+  EXPECT_FALSE(first.used_propagation_cache()) << "first run must miss";
+  serve::InferenceSession second = fixture.Session(options);
+  EXPECT_TRUE(second.used_propagation_cache()) << "second run must hit";
+  EXPECT_TRUE(BitwiseEqual(second.ForwardAll(), fixture.eval_logits));
+}
+
+TEST(MicroBatcherTest, CoalescesConcurrentClientsWithoutChangingAnswers) {
+  SessionFixture fixture(SmallConfig());
+  serve::InferenceSession session = fixture.Session();
+  serve::ServeMetrics metrics;
+  serve::MicroBatcher batcher(&session, &metrics);
+
+  // Ground truth, computed without the batcher.
+  const std::vector<std::vector<int64_t>> queries = {
+      {0, 1, 2}, {3}, {4, 5}, {6, 7, 8, 9}, {10}, {11, 12},
+      {13}, {14, 15}, {16, 17, 18}, {19}, {0, 19}, {7}};
+  std::vector<std::vector<int64_t>> expected;
+  for (const auto& nodes : queries) {
+    expected.push_back(std::move(session.Classify(nodes)).value());
+  }
+
+  std::thread pump([&batcher] {
+    while (batcher.PumpOnce()) {
+    }
+  });
+
+  constexpr int kClients = 4;
+  std::vector<std::vector<int>> mismatches(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t q = static_cast<size_t>(c); q < queries.size();
+           q += kClients) {
+        Result<std::vector<int64_t>> got = batcher.Submit(queries[q]).Wait();
+        if (!got.ok() || *got != expected[q]) {
+          mismatches[c].push_back(static_cast<int>(q));
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  batcher.Shutdown();
+  pump.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(mismatches[c].empty())
+        << "client " << c << " got wrong answers";
+  }
+  const serve::MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.requests, queries.size());
+  EXPECT_EQ(snapshot.errors, 0u);
+  uint64_t total_nodes = 0;
+  for (const auto& nodes : queries) total_nodes += nodes.size();
+  EXPECT_EQ(snapshot.nodes, total_nodes);
+  EXPECT_GE(snapshot.batches, 1u);
+  EXPECT_LE(snapshot.batches, snapshot.requests);
+  EXPECT_GE(snapshot.max_queue_depth, 1);
+}
+
+TEST(MicroBatcherTest, ErrorsStayPerRequest) {
+  SessionFixture fixture(SmallConfig());
+  serve::InferenceSession session = fixture.Session();
+  serve::MicroBatcher batcher(&session, nullptr);
+  auto good = batcher.Submit({0, 1});
+  auto bad = batcher.Submit({session.num_nodes() + 5});
+  auto also_good = batcher.Submit({2});
+  while (batcher.queue_depth() > 0) batcher.PumpOnce();
+  EXPECT_TRUE(good.Wait().ok());
+  EXPECT_FALSE(bad.Wait().ok());
+  EXPECT_TRUE(also_good.Wait().ok())
+      << "a bad batch mate must not poison this request";
+}
+
+TEST(MicroBatcherTest, ShutdownFailsLateSubmitsInsteadOfHanging) {
+  SessionFixture fixture(SmallConfig());
+  serve::InferenceSession session = fixture.Session();
+  serve::MicroBatcher batcher(&session, nullptr);
+  batcher.Shutdown();
+  Result<std::vector<int64_t>> late = batcher.Submit({0}).Wait();
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(batcher.PumpOnce());
+}
+
+TEST(ServeMetricsTest, PercentilesUseNearestRank) {
+  std::vector<double> values;
+  for (int i = 100; i >= 1; --i) values.push_back(i);
+  EXPECT_EQ(serve::Percentile(values, 50.0), 50.0);
+  EXPECT_EQ(serve::Percentile(values, 99.0), 99.0);
+  EXPECT_EQ(serve::Percentile(values, 100.0), 100.0);
+  EXPECT_EQ(serve::Percentile(values, 0.0), 1.0);
+  EXPECT_EQ(serve::Percentile({}, 50.0), 0.0);
+}
+
+TEST(JsonlTest, ParsesTheRequestSchema) {
+  Result<serve::ServeRequest> request =
+      serve::ParseRequestLine(R"({"id": 7, "nodes": [0, 12, 3]})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->id, 7);
+  EXPECT_EQ(request->nodes, (std::vector<int64_t>{0, 12, 3}));
+
+  // Key order is free; empty arrays and negative ids are legal JSON here.
+  request = serve::ParseRequestLine(R"({"nodes":[],"id":-2})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->id, -2);
+  EXPECT_TRUE(request->nodes.empty());
+}
+
+TEST(JsonlTest, RejectsEverythingOutsideTheSchema) {
+  const char* bad[] = {
+      "",
+      "not json",
+      "{}",
+      R"({"id": 1})",
+      R"({"nodes": [1]})",
+      R"({"id": 1, "nodes": [1], "extra": 2})",
+      R"({"id": 1, "id": 2, "nodes": []})",
+      R"({"id": 1, "nodes": [1,]})",
+      R"({"id": 1, "nodes": [1]} trailing)",
+      R"({"id": 99999999999999999999, "nodes": []})",
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(serve::ParseRequestLine(line).ok())
+        << "accepted: " << line;
+  }
+  // The node-count ceiling must bound the array before building it.
+  EXPECT_FALSE(
+      serve::ParseRequestLine(R"({"id":1,"nodes":[1,2,3]})", 2).ok());
+}
+
+TEST(JsonlTest, FormatsRepliesWithEscaping) {
+  EXPECT_EQ(serve::FormatClassesReply(7, {1, 0, 2}),
+            R"({"id":7,"classes":[1,0,2]})");
+  EXPECT_EQ(serve::FormatClassesReply(-1, {}), R"({"id":-1,"classes":[]})");
+  EXPECT_EQ(serve::FormatErrorReply(3, "bad \"node\"\n"),
+            R"({"id":3,"error":"bad \"node\"\n"})");
+}
+
+}  // namespace
+}  // namespace adpa

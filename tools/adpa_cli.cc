@@ -10,7 +10,13 @@
 //
 //   adpa_cli train --in=g.txt --model=ADPA [--undirect] [--epochs=200]
 //                  [--hidden=64] [--steps=2] [--order=2] [--lr=0.01]
-//       Train any registered model on the dataset and report accuracy.
+//                  [--save_checkpoint=m.ckpt]
+//       Train any registered model on the dataset and report accuracy;
+//       optionally persist the trained model (src/io/checkpoint.h).
+//
+//   adpa_cli train --in=g.txt --load_checkpoint=m.ckpt
+//       Skip training: restore the model from a checkpoint (hyperparameters
+//       come from the checkpoint, not the flags) and report test accuracy.
 
 #include <cstdio>
 #include <string>
@@ -23,6 +29,7 @@
 #include "src/data/benchmarks.h"
 #include "src/data/io.h"
 #include "src/graph/algorithms.h"
+#include "src/io/checkpoint.h"
 #include "src/metrics/homophily.h"
 #include "src/models/factory.h"
 #include "src/train/trainer.h"
@@ -43,6 +50,7 @@ int Usage() {
                "  train    --in=<file> --model=<name> [--undirect]\n"
                "           [--epochs=N --hidden=N --steps=N --order=N "
                "--lr=F --seed=N --check_finite]\n"
+               "           [--save_checkpoint=F | --load_checkpoint=F]\n"
                "  any command also accepts --threads=N (0 = auto); results\n"
                "  are independent of the thread count\n");
   return 2;
@@ -115,6 +123,31 @@ int Train(const Flags& flags) {
                       ? dataset->WithUndirectedGraph()
                       : std::move(*dataset);
 
+  const std::string load_path = flags.GetString("load_checkpoint", "");
+  if (!load_path.empty()) {
+    Result<Checkpoint> checkpoint = TryLoadCheckpoint(load_path);
+    if (!checkpoint.ok()) return Fail(checkpoint.status());
+    if (checkpoint->dataset_hash != 0 &&
+        checkpoint->dataset_hash != DatasetContentHash(input)) {
+      return Fail(Status::FailedPrecondition(
+          "dataset content does not match the checkpoint (was it trained "
+          "with/without --undirect, or on different data?)"));
+    }
+    Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+    Result<ModelPtr> model = CreateModel(checkpoint->model_name, input,
+                                         checkpoint->model_config, &rng);
+    if (!model.ok()) return Fail(model.status());
+    const Status loaded = LoadCheckpointIntoModel(*checkpoint, model->get());
+    if (!loaded.ok()) return Fail(loaded);
+    const Matrix logits = (*model)->Forward(/*training=*/false, &rng).value();
+    std::printf("%s restored from %s: train %.1f%%, val %.1f%%, test %.1f%%\n",
+                checkpoint->model_name.c_str(), load_path.c_str(),
+                Accuracy(logits, input.labels, input.train_idx) * 100.0,
+                Accuracy(logits, input.labels, input.val_idx) * 100.0,
+                Accuracy(logits, input.labels, input.test_idx) * 100.0);
+    return 0;
+  }
+
   ModelConfig config;
   config.hidden = flags.GetInt("hidden", 64);
   config.propagation_steps = static_cast<int>(flags.GetInt("steps", 2));
@@ -137,6 +170,17 @@ int Train(const Flags& flags) {
               model_name.c_str(), input.name.c_str(),
               result.best_val_accuracy * 100.0, result.best_epoch,
               result.test_accuracy * 100.0, result.epochs_run);
+
+  const std::string save_path = flags.GetString("save_checkpoint", "");
+  if (!save_path.empty()) {
+    const Checkpoint checkpoint = MakeCheckpoint(
+        *model->get(), model_name, input, config, train_config);
+    const Status saved = SaveCheckpoint(checkpoint, save_path);
+    if (!saved.ok()) return Fail(saved);
+    std::printf("checkpoint written to %s (%lld tensors)\n",
+                save_path.c_str(),
+                static_cast<long long>(checkpoint.tensors.size()));
+  }
   return 0;
 }
 

@@ -1,0 +1,169 @@
+// adpa_serve — JSON-lines inference server over a trained checkpoint.
+//
+//   adpa_cli train --in=g.txt --save_checkpoint=m.ckpt
+//   adpa_serve --checkpoint=m.ckpt --in=g.txt < queries.jsonl > replies.jsonl
+//
+// Protocol: one request object per stdin line, one reply per stdout line,
+// in request order. Requests are {"id": 7, "nodes": [0, 12, 3]}; replies
+// are {"id":7,"classes":[1,0,2]} or {"id":7,"error":"..."}. The process
+// exits at EOF and prints a metrics summary (latency percentiles, QPS,
+// batching counters) to stderr, keeping stdout byte-stable for golden
+// comparisons.
+//
+// Flags:
+//   --checkpoint=F        trained model (required)
+//   --in=F                the dataset the model was trained on (required)
+//   --undirect            mirror the training run's --undirect
+//   --cache=F             sidecar file for the Eq. 9 propagation precompute
+//   --batch_lines=N       stdin lines submitted before pumping (default 1;
+//                         raise to coalesce pipelined queries per forward)
+//   --max_batch_nodes=N   node cap per coalesced forward (default 4096)
+//   --threads=N           kernel thread count (0 = auto)
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/flags.h"
+#include "src/core/parallel.h"
+#include "src/data/io.h"
+#include "src/io/checkpoint.h"
+#include "src/serve/batcher.h"
+#include "src/serve/engine.h"
+#include "src/serve/jsonl.h"
+#include "src/serve/metrics.h"
+
+namespace adpa {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: adpa_serve --checkpoint=F --in=F [--undirect]\n"
+               "                  [--cache=F --batch_lines=N "
+               "--max_batch_nodes=N --threads=N]\n"
+               "reads JSON-lines requests from stdin, writes replies to "
+               "stdout\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!flags.Parse(argc, argv)) return Usage();
+  const std::string checkpoint_path = flags.GetString("checkpoint", "");
+  const std::string dataset_path = flags.GetString("in", "");
+  if (checkpoint_path.empty() || dataset_path.empty()) return Usage();
+  if (flags.Has("threads")) {
+    SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
+  }
+
+  Result<Dataset> dataset = LoadDataset(dataset_path);
+  if (!dataset.ok()) return Fail(dataset.status());
+  Dataset input = flags.GetBool("undirect", false)
+                      ? dataset->WithUndirectedGraph()
+                      : std::move(*dataset);
+
+  Result<Checkpoint> checkpoint = TryLoadCheckpoint(checkpoint_path);
+  if (!checkpoint.ok()) return Fail(checkpoint.status());
+
+  serve::EngineOptions engine_options;
+  engine_options.propagation_cache_path = flags.GetString("cache", "");
+  Result<serve::InferenceSession> session =
+      serve::InferenceSession::Create(*checkpoint, input, engine_options);
+  if (!session.ok()) return Fail(session.status());
+  std::fprintf(stderr,
+               "serving %s on %s: %lld nodes, %lld classes, propagation %s\n",
+               checkpoint->model_name.c_str(), input.name.c_str(),
+               static_cast<long long>(session->num_nodes()),
+               static_cast<long long>(session->num_classes()),
+               session->used_propagation_cache() ? "cache hit" : "computed");
+
+  serve::ServeMetrics metrics;
+  serve::MicroBatcher::Options batcher_options;
+  batcher_options.max_batch_nodes = flags.GetInt("max_batch_nodes", 4096);
+  serve::MicroBatcher batcher(&*session, &metrics, batcher_options);
+  const int64_t batch_lines = std::max<int64_t>(1, flags.GetInt("batch_lines", 1));
+
+  const auto serve_start = std::chrono::steady_clock::now();
+  // One in-order reply slot per request: either an already-formatted error
+  // (parse failures) or a ticket awaiting the pump.
+  struct Slot {
+    std::string error_reply;
+    int64_t id = 0;
+    bool has_ticket = false;
+    serve::MicroBatcher::Ticket ticket;
+  };
+  std::string line;
+  bool at_eof = false;
+  while (!at_eof) {
+    std::vector<Slot> slots;
+    while (static_cast<int64_t>(slots.size()) < batch_lines) {
+      if (!std::getline(std::cin, line)) {
+        at_eof = true;
+        break;
+      }
+      if (line.empty()) continue;
+      Slot slot;
+      Result<serve::ServeRequest> request = serve::ParseRequestLine(line);
+      if (!request.ok()) {
+        slot.error_reply =
+            serve::FormatErrorReply(-1, request.status().message());
+      } else {
+        slot.id = request->id;
+        slot.has_ticket = true;
+        slot.ticket = batcher.Submit(std::move(request->nodes));
+      }
+      slots.push_back(std::move(slot));
+    }
+    while (batcher.queue_depth() > 0) batcher.PumpOnce();
+    for (Slot& slot : slots) {
+      std::string reply;
+      if (!slot.has_ticket) {
+        reply = std::move(slot.error_reply);
+      } else {
+        Result<std::vector<int64_t>> classes = slot.ticket.Wait();
+        reply = classes.ok()
+                    ? serve::FormatClassesReply(slot.id, *classes)
+                    : serve::FormatErrorReply(slot.id,
+                                              classes.status().message());
+      }
+      std::fputs(reply.c_str(), stdout);
+      std::fputc('\n', stdout);
+    }
+    std::fflush(stdout);
+  }
+  batcher.Shutdown();
+
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    serve_start)
+          .count();
+  const serve::MetricsSnapshot snapshot = metrics.Snapshot();
+  std::fprintf(stderr,
+               "served %llu requests (%llu errors, %llu nodes) in %llu "
+               "batches; mean batch %.2f req; latency ms p50 %.3f p99 %.3f "
+               "mean %.3f; %.1f req/s; max queue depth %lld\n",
+               static_cast<unsigned long long>(snapshot.requests),
+               static_cast<unsigned long long>(snapshot.errors),
+               static_cast<unsigned long long>(snapshot.nodes),
+               static_cast<unsigned long long>(snapshot.batches),
+               snapshot.mean_batch_requests, snapshot.p50_latency_ms,
+               snapshot.p99_latency_ms, snapshot.mean_latency_ms,
+               elapsed_s > 0.0 ? static_cast<double>(snapshot.requests) /
+                                     elapsed_s
+                               : 0.0,
+               static_cast<long long>(snapshot.max_queue_depth));
+  return 0;
+}
+
+}  // namespace
+}  // namespace adpa
+
+int main(int argc, char** argv) { return adpa::Main(argc, argv); }

@@ -1,13 +1,16 @@
 #!/bin/sh
-# Runs the kernel micro-bench suite and records its JSON report so the perf
-# trajectory is tracked in-repo across PRs (see BENCH_kernels.json).
+# Runs the kernel micro-bench suite and the serving bench, recording their
+# JSON reports so the perf trajectory is tracked in-repo across PRs (see
+# BENCH_kernels.json and BENCH_serve.json).
 #
-# usage: tools/bench_to_json.sh [build-dir] [out-file]
+# usage: tools/bench_to_json.sh [build-dir] [out-file] [serve-out-file]
 set -eu
 
 BUILD_DIR="${1:-build}"
 OUT_FILE="${2:-BENCH_kernels.json}"
+SERVE_OUT_FILE="${3:-BENCH_serve.json}"
 BENCH_BIN="$BUILD_DIR/bench/bench_kernels"
+SERVE_BIN="$BUILD_DIR/bench/serve_bench"
 
 if [ ! -x "$BENCH_BIN" ]; then
   echo "error: $BENCH_BIN not built (run: cmake --build $BUILD_DIR)" >&2
@@ -21,3 +24,12 @@ fi
   --benchmark_format=json > "$OUT_FILE"
 
 echo "wrote $OUT_FILE"
+
+if [ ! -x "$SERVE_BIN" ]; then
+  echo "error: $SERVE_BIN not built (run: cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+"$SERVE_BIN" > "$SERVE_OUT_FILE"
+
+echo "wrote $SERVE_OUT_FILE"

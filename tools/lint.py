@@ -24,6 +24,13 @@ Rules (ids used by the `// lint:allow(<rule>)` escape hatch):
   no-direct-io             std::cout / printf in src/ outside
                            src/core/logging.*; route output through
                            TablePrinter / Status / the CLI binary.
+                           Additionally, in src/io/ and src/serve/ raw C
+                           stdio (fopen/fread/FILE* ...) is forbidden:
+                           persistence and serving do all file access
+                           through the checked stream APIs
+                           (BinaryReader/BinaryWriter over std::fstream),
+                           so every failure surfaces as a Status instead
+                           of a silently ignored return value.
   no-unordered-iteration   range-for over a std::unordered_{map,set} in
                            result-affecting paths (src/models, src/train);
                            hash iteration order is implementation-defined and
@@ -159,6 +166,20 @@ RULES = [
         [r"\bstd::cout\b", r"(?<!\w)printf\s*\("],
         scopes=CXX_SOURCE_SCOPES,
         exempt=("src/core/logging.h", "src/core/logging.cc"),
+    ),
+    Rule(
+        "no-direct-io",
+        "raw C stdio in the persistence/serving layers; all file access "
+        "goes through the checked stream APIs (BinaryReader/BinaryWriter "
+        "over std::fstream) so every I/O failure is a Status, never an "
+        "unchecked return value",
+        [
+            r"\b(fopen|fdopen|freopen|fclose|fread|fwrite|fflush|"
+            r"fseeko?|ftello?|rewind|fgets|fgetc|fputs|fputc|fscanf|"
+            r"fprintf|setvbuf|tmpfile)\s*\(",
+            r"\bFILE\s*\*",
+        ],
+        scopes=("src/io/", "src/serve/"),
     ),
     Rule(
         "no-unordered-iteration",
