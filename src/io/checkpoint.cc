@@ -16,8 +16,14 @@ constexpr char kCheckpointMagic[8] = {'A', 'D', 'P', 'A', 'C', 'K', 'P', 'T'};
 constexpr char kCacheMagic[8] = {'A', 'D', 'P', 'A', 'P', 'C', 'H', 'E'};
 constexpr uint32_t kFormatVersion = 1;
 
-Status Malformed(const std::string& what) {
-  return Status::InvalidArgument("malformed checkpoint: " + what);
+/// Human-readable container kinds for error messages, so a propagation-cache
+/// failure is never misreported as a checkpoint failure.
+constexpr char kCheckpointKind[] = "checkpoint";
+constexpr char kCacheKind[] = "propagation cache";
+
+Status Malformed(const char* kind, const std::string& what) {
+  return Status::InvalidArgument(std::string("malformed ") + kind + ": " +
+                                 what);
 }
 
 /// Wraps `payload` in the magic/version/CRC32/size container.
@@ -36,34 +42,37 @@ Status WriteContainer(const char magic[8], const std::string& payload,
 }
 
 /// Validates the container header and returns the CRC-verified payload.
-Status ReadContainerPayload(const char magic[8], std::istream& in,
-                            const CheckpointLimits& limits,
+Status ReadContainerPayload(const char magic[8], const char* kind,
+                            std::istream& in, const CheckpointLimits& limits,
                             std::string* payload) {
   BinaryReader reader(&in);
   char file_magic[8] = {};
   Status magic_read = reader.ReadBytes(file_magic, 8);
-  if (!magic_read.ok()) return Malformed("missing magic header");
+  if (!magic_read.ok()) return Malformed(kind, "missing magic header");
   if (std::string(file_magic, 8) != std::string(magic, 8)) {
-    return Malformed("bad magic (not a " + std::string(magic, 8) + " file)");
+    return Malformed(kind,
+                     "bad magic (not a " + std::string(magic, 8) + " file)");
   }
   uint32_t version = 0, crc = 0;
   uint64_t size = 0;
   ADPA_RETURN_IF_ERROR(reader.ReadU32(&version));
   if (version != kFormatVersion) {
-    return Malformed("unsupported format version " + std::to_string(version));
+    return Malformed(kind,
+                     "unsupported format version " + std::to_string(version));
   }
   ADPA_RETURN_IF_ERROR(reader.ReadU32(&crc));
   ADPA_RETURN_IF_ERROR(reader.ReadU64(&size));
   if (size > limits.max_payload_bytes) {
-    return Malformed("payload size exceeds limit");
+    return Malformed(kind, "payload size exceeds limit");
   }
   payload->resize(size);
   if (size > 0) {
     Status body = reader.ReadBytes(payload->data(), size);
-    if (!body.ok()) return Malformed("truncated payload");
+    if (!body.ok()) return Malformed(kind, "truncated payload");
   }
   if (Crc32(payload->data(), payload->size()) != crc) {
     return Malformed(
+        kind,
         "payload checksum mismatch (file corrupted or partially written)");
   }
   return Status::OK();
@@ -104,7 +113,7 @@ Status ReadModelConfig(BinaryReader* r, ModelConfig* c) {
   ADPA_RETURN_IF_ERROR(r->ReadI32(&c->select_patterns));
   ADPA_RETURN_IF_ERROR(r->ReadU8(&self_loops));
   if (dp_attention > static_cast<uint8_t>(DpAttention::kJk)) {
-    return Malformed("dp_attention enum out of range");
+    return Malformed(kCheckpointKind, "dp_attention enum out of range");
   }
   c->dp_attention = static_cast<DpAttention>(dp_attention);
   c->use_dp_attention = use_dp != 0;
@@ -140,12 +149,13 @@ void WritePatterns(BinaryWriter* w,
   }
 }
 
-Status ReadPatterns(BinaryReader* r, const CheckpointLimits& limits,
+Status ReadPatterns(BinaryReader* r, const char* kind,
+                    const CheckpointLimits& limits,
                     std::vector<DirectedPattern>* patterns) {
   uint32_t count = 0;
   ADPA_RETURN_IF_ERROR(r->ReadU32(&count));
   if (count > limits.max_patterns) {
-    return Malformed("pattern count exceeds limit");
+    return Malformed(kind, "pattern count exceeds limit");
   }
   patterns->clear();
   patterns->reserve(count);
@@ -153,14 +163,14 @@ Status ReadPatterns(BinaryReader* r, const CheckpointLimits& limits,
     uint32_t length = 0;
     ADPA_RETURN_IF_ERROR(r->ReadU32(&length));
     if (length == 0 || length > limits.max_pattern_length) {
-      return Malformed("pattern length out of range");
+      return Malformed(kind, "pattern length out of range");
     }
     DirectedPattern pattern;
     pattern.word.reserve(length);
     for (uint32_t h = 0; h < length; ++h) {
       uint8_t hop = 0;
       ADPA_RETURN_IF_ERROR(r->ReadU8(&hop));
-      if (hop > 1) return Malformed("pattern hop byte out of range");
+      if (hop > 1) return Malformed(kind, "pattern hop byte out of range");
       pattern.word.push_back(hop == 1 ? Hop::kIn : Hop::kOut);
     }
     patterns->push_back(std::move(pattern));
@@ -189,7 +199,7 @@ Status ReadCacheKey(BinaryReader* r, const CheckpointLimits& limits,
   ADPA_RETURN_IF_ERROR(r->ReadI32(&key->steps));
   key->self_loops = self_loops != 0;
   key->initial_residual = residual != 0;
-  return ReadPatterns(r, limits, &key->patterns);
+  return ReadPatterns(r, kCacheKind, limits, &key->patterns);
 }
 
 }  // namespace
@@ -224,8 +234,8 @@ Status SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path) {
 Result<Checkpoint> TryLoadCheckpointFromStream(std::istream& in,
                                                const CheckpointLimits& limits) {
   std::string payload;
-  ADPA_RETURN_IF_ERROR(
-      ReadContainerPayload(kCheckpointMagic, in, limits, &payload));
+  ADPA_RETURN_IF_ERROR(ReadContainerPayload(kCheckpointMagic, kCheckpointKind,
+                                            in, limits, &payload));
   std::istringstream body(payload);
   BinaryReader reader(&body);
   Checkpoint checkpoint;
@@ -236,11 +246,12 @@ Result<Checkpoint> TryLoadCheckpointFromStream(std::istream& in,
   ADPA_RETURN_IF_ERROR(reader.ReadU64(&checkpoint.dataset_hash));
   ADPA_RETURN_IF_ERROR(ReadModelConfig(&reader, &checkpoint.model_config));
   ADPA_RETURN_IF_ERROR(ReadTrainConfig(&reader, &checkpoint.train_config));
-  ADPA_RETURN_IF_ERROR(ReadPatterns(&reader, limits, &checkpoint.patterns));
+  ADPA_RETURN_IF_ERROR(
+      ReadPatterns(&reader, kCheckpointKind, limits, &checkpoint.patterns));
   uint32_t tensor_count = 0;
   ADPA_RETURN_IF_ERROR(reader.ReadU32(&tensor_count));
   if (tensor_count > limits.max_tensors) {
-    return Malformed("tensor count exceeds limit");
+    return Malformed(kCheckpointKind, "tensor count exceeds limit");
   }
   checkpoint.tensors.reserve(tensor_count);
   for (uint32_t i = 0; i < tensor_count; ++i) {
@@ -396,7 +407,7 @@ Result<PropagationCache> TryLoadPropagationCacheFromStream(
     std::istream& in, const CheckpointLimits& limits) {
   std::string payload;
   ADPA_RETURN_IF_ERROR(
-      ReadContainerPayload(kCacheMagic, in, limits, &payload));
+      ReadContainerPayload(kCacheMagic, kCacheKind, in, limits, &payload));
   std::istringstream body(payload);
   BinaryReader reader(&body);
   PropagationCache cache;
@@ -404,8 +415,12 @@ Result<PropagationCache> TryLoadPropagationCacheFromStream(
   uint32_t steps = 0, per_step = 0;
   ADPA_RETURN_IF_ERROR(reader.ReadU32(&steps));
   ADPA_RETURN_IF_ERROR(reader.ReadU32(&per_step));
-  if (per_step != 0 && steps > limits.max_cache_blocks / per_step) {
-    return Malformed("cache block count exceeds limit");
+  // `steps` alone must stay under the ceiling (a per_step of 0 would
+  // otherwise skip the product check and let steps drive the resize), and
+  // so must the steps × per_step product (overflow-safe via division).
+  if (steps > limits.max_cache_blocks ||
+      (per_step != 0 && steps > limits.max_cache_blocks / per_step)) {
+    return Malformed(kCacheKind, "cache block count exceeds limit");
   }
   cache.blocks.resize(steps);
   for (uint32_t l = 0; l < steps; ++l) {

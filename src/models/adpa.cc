@@ -26,8 +26,12 @@ std::vector<DirectedPattern> ChoosePatterns(const Dataset& dataset,
 
 AdpaModel::AdpaModel(const Dataset& dataset, const ModelConfig& config,
                      Rng* rng)
+    : AdpaModel(dataset, config, ChoosePatterns(dataset, config), rng) {}
+
+AdpaModel::AdpaModel(const Dataset& dataset, const ModelConfig& config,
+                     std::vector<DirectedPattern> patterns, Rng* rng)
     : config_(config),
-      patterns_(ChoosePatterns(dataset, config)),
+      patterns_(std::move(patterns)),
       steps_(std::max(1, config.propagation_steps)) {
   const int64_t f = dataset.feature_dim();
   const int64_t n = dataset.num_nodes();

@@ -34,6 +34,13 @@ class AdpaModel : public Model {
  public:
   AdpaModel(const Dataset& dataset, const ModelConfig& config, Rng* rng);
 
+  /// Restore/serving path: propagate with exactly `patterns` instead of
+  /// deriving a set from the dataset. Correlation-selected subsets
+  /// (Sec. IV-B) depend on the training labels and split, so a checkpoint's
+  /// recorded set cannot be safely re-derived at load time.
+  AdpaModel(const Dataset& dataset, const ModelConfig& config,
+            std::vector<DirectedPattern> patterns, Rng* rng);
+
   ag::Variable Forward(bool training, Rng* rng) override;
   std::vector<ag::Variable> Parameters() const override;
   std::string name() const override { return "ADPA"; }

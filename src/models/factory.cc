@@ -40,6 +40,17 @@ Result<ModelPtr> CreateModel(const std::string& name, const Dataset& dataset,
   return Status::NotFound("unknown model: " + name);
 }
 
+Result<ModelPtr> CreateModelWithPatterns(const std::string& name,
+                                         const Dataset& dataset,
+                                         const ModelConfig& config,
+                                         std::vector<DirectedPattern> patterns,
+                                         Rng* rng) {
+  if (name == "ADPA" && !patterns.empty()) {
+    return ModelPtr(new AdpaModel(dataset, config, std::move(patterns), rng));
+  }
+  return CreateModel(name, dataset, config, rng);
+}
+
 const std::vector<std::string>& UndirectedModelNames() {
   static const std::vector<std::string>& names = *new std::vector<std::string>{
       "GCN",    "SGC",    "LINKX",  "BerNet",

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/core/status.h"
+#include "src/graph/patterns.h"
 #include "src/models/model.h"
 
 namespace adpa {
@@ -12,6 +13,19 @@ namespace adpa {
 /// passing the natural digraph or `dataset.WithUndirectedGraph()`.
 Result<ModelPtr> CreateModel(const std::string& name, const Dataset& dataset,
                              const ModelConfig& config, Rng* rng);
+
+/// Checkpoint-restore variant: for ADPA, propagate with exactly `patterns`
+/// (a checkpoint's recorded DP set) instead of re-deriving one from the
+/// dataset — correlation-selected subsets depend on the training split,
+/// which the dataset content hash does not cover, so re-derivation can
+/// silently bind restored weights to a different pattern subset. Models
+/// without a pattern set — and an empty `patterns` — fall back to
+/// CreateModel.
+Result<ModelPtr> CreateModelWithPatterns(const std::string& name,
+                                         const Dataset& dataset,
+                                         const ModelConfig& config,
+                                         std::vector<DirectedPattern> patterns,
+                                         Rng* rng);
 
 /// The 8 undirected baselines of the paper's tables (Sec. V-A), in table
 /// order: GCN, SGC, LINKX, BerNet, JacobiConv, GPRGNN, GloGNN, AERO-GNN.

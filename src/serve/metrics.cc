@@ -4,6 +4,17 @@
 #include <cmath>
 
 namespace adpa::serve {
+namespace {
+
+/// splitmix64: a full-period 64-bit mixer; one multiply-xor chain per draw.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 void ServeMetrics::RecordRequest(double latency_ms, int64_t nodes_answered,
                                  bool ok) {
@@ -11,7 +22,18 @@ void ServeMetrics::RecordRequest(double latency_ms, int64_t nodes_answered,
   ++requests_;
   if (!ok) ++errors_;
   nodes_ += static_cast<uint64_t>(nodes_answered);
-  latencies_ms_.push_back(latency_ms);
+  latency_sum_ms_ += latency_ms;
+  ++latency_samples_;
+  if (latencies_ms_.size() < kLatencyReservoirCapacity) {
+    latencies_ms_.push_back(latency_ms);
+  } else {
+    // Algorithm R: sample n replaces a random reservoir slot with
+    // probability capacity/n, keeping every sample equally likely to stay.
+    const uint64_t slot = NextRandom(&reservoir_state_) % latency_samples_;
+    if (slot < kLatencyReservoirCapacity) {
+      latencies_ms_[static_cast<size_t>(slot)] = latency_ms;
+    }
+  }
 }
 
 void ServeMetrics::RecordBatch(int64_t coalesced_requests) {
@@ -37,11 +59,9 @@ MetricsSnapshot ServeMetrics::Snapshot() const {
     snapshot.mean_batch_requests =
         static_cast<double>(batched_requests_) / static_cast<double>(batches_);
   }
-  if (!latencies_ms_.empty()) {
-    double total = 0.0;
-    for (double v : latencies_ms_) total += v;
+  if (latency_samples_ > 0) {
     snapshot.mean_latency_ms =
-        total / static_cast<double>(latencies_ms_.size());
+        latency_sum_ms_ / static_cast<double>(latency_samples_);
     snapshot.p50_latency_ms = Percentile(latencies_ms_, 50.0);
     snapshot.p99_latency_ms = Percentile(latencies_ms_, 99.0);
   }

@@ -22,6 +22,12 @@ struct MetricsSnapshot {
 /// Latency samples are recorded by the batcher (enqueue → reply delivery)
 /// and summarized on demand; wall-clock reads stay in the batcher so this
 /// class is trivially testable with synthetic samples.
+///
+/// Memory is bounded for long-running servers: the mean is an exact running
+/// sum, while p50/p99 come from a fixed-size uniform reservoir (Vitter's
+/// Algorithm R over a deterministic internal PRNG — no wall clock, no
+/// global seeding), so percentiles stay representative of the whole run
+/// without retaining one sample per request.
 class ServeMetrics {
  public:
   void RecordRequest(double latency_ms, int64_t nodes_answered, bool ok);
@@ -29,6 +35,9 @@ class ServeMetrics {
   void RecordQueueDepth(int64_t depth);
 
   MetricsSnapshot Snapshot() const;
+
+  /// Percentiles are exact up to this many requests, sampled beyond it.
+  static constexpr size_t kLatencyReservoirCapacity = 4096;
 
  private:
   mutable std::mutex mu_;
@@ -38,7 +47,10 @@ class ServeMetrics {
   uint64_t batches_ = 0;
   uint64_t batched_requests_ = 0;
   int64_t max_queue_depth_ = 0;
-  std::vector<double> latencies_ms_;
+  double latency_sum_ms_ = 0.0;    ///< over every sample ever recorded
+  uint64_t latency_samples_ = 0;   ///< samples offered to the reservoir
+  uint64_t reservoir_state_ = 0x9e3779b97f4a7c15ull;  ///< splitmix64 state
+  std::vector<double> latencies_ms_;  ///< ≤ kLatencyReservoirCapacity
 };
 
 /// Nearest-rank percentile (p in [0, 100]) of `values`; 0 when empty.

@@ -2,16 +2,20 @@
 // (truncation, bad magic, version skew, CRC corruption, limit breaches),
 // and the propagation sidecar cache.
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "src/core/hash.h"
 #include "src/core/random.h"
 #include "src/data/generators.h"
 #include "src/data/splits.h"
+#include "src/io/binary.h"
 #include "src/io/checkpoint.h"
+#include "src/models/adpa.h"
 #include "src/models/factory.h"
 #include "src/serve/engine.h"
 #include "src/train/trainer.h"
@@ -283,6 +287,96 @@ TEST(PropagationCacheTest, KeyTracksEveryPropagationInput) {
 
   EXPECT_FALSE(MakePropagationCacheKey(ds, config, EnumeratePatterns(1)) ==
                base);
+}
+
+TEST(CheckpointTest, RestoreWithRecordedPatternsSkipsRederivation) {
+  // Correlation-selected pattern subsets (select_patterns > 0) depend on
+  // the train split, which DatasetContentHash does not cover. The restore
+  // path must install the checkpoint's recorded set, not re-derive one.
+  Dataset dataset = Tiny(17);
+  ModelConfig config;
+  config.hidden = 16;
+  config.pattern_order = 2;
+  config.select_patterns = 2;
+  Rng rng(7);
+  ModelPtr model =
+      std::move(CreateModel("ADPA", dataset, config, &rng)).value();
+  TrainConfig train_config;
+  train_config.max_epochs = 2;
+  train_config.patience = 0;
+  TrainModel(model.get(), dataset, train_config, &rng);
+  const Matrix logits = model->Forward(/*training=*/false, &rng).value();
+  const Checkpoint checkpoint =
+      MakeCheckpoint(*model, "ADPA", dataset, config, train_config);
+  ASSERT_EQ(checkpoint.patterns.size(), 2u);
+
+  // Same dataset content (hash unchanged), different labeled subset: any
+  // re-derived selection is untrustworthy here, the recorded one is not.
+  std::reverse(dataset.train_idx.begin(), dataset.train_idx.end());
+  dataset.train_idx.resize(dataset.train_idx.size() / 2);
+  Rng other_rng(999);
+  ModelPtr restored = std::move(CreateModelWithPatterns(
+                                    "ADPA", dataset, checkpoint.model_config,
+                                    checkpoint.patterns, &other_rng))
+                          .value();
+  ASSERT_TRUE(LoadCheckpointIntoModel(checkpoint, restored.get()).ok());
+  const auto* adpa = dynamic_cast<const AdpaModel*>(restored.get());
+  ASSERT_NE(adpa, nullptr);
+  EXPECT_EQ(adpa->patterns(), checkpoint.patterns);
+  const Matrix restored_logits =
+      restored->Forward(/*training=*/false, &other_rng).value();
+  EXPECT_TRUE(BitwiseEqual(restored_logits, logits))
+      << "restored model does not propagate with the recorded patterns";
+}
+
+/// A syntactically valid cache container whose block-count header claims
+/// `steps` x `per_step` blocks (with a minimal key and no block data).
+std::string HostileCacheBytes(uint32_t steps, uint32_t per_step) {
+  std::ostringstream body_stream;
+  BinaryWriter body(&body_stream);
+  body.WriteU64(0);    // graph_hash
+  body.WriteU64(0);    // feature_hash
+  body.WriteF64(0.5);  // conv_r
+  body.WriteU8(0);     // self_loops
+  body.WriteU8(1);     // initial_residual
+  body.WriteI32(1);    // key steps
+  body.WriteU32(0);    // no patterns
+  body.WriteU32(steps);
+  body.WriteU32(per_step);
+  const std::string payload = body_stream.str();
+  std::ostringstream out;
+  BinaryWriter header(&out);
+  header.WriteBytes("ADPAPCHE", 8);
+  header.WriteU32(1);  // format version
+  header.WriteU32(Crc32(payload.data(), payload.size()));
+  header.WriteU64(payload.size());
+  header.WriteBytes(payload.data(), payload.size());
+  return out.str();
+}
+
+TEST(PropagationCacheTest, HostileStepCountWithZeroPerStepIsRejected) {
+  // per_step == 0 must not bypass the block-count ceiling: `steps` alone
+  // would otherwise drive a multi-gigabyte resize before any block read.
+  for (uint32_t steps : {uint32_t{4097}, uint32_t{0xFFFFFFFF}}) {
+    std::istringstream in(HostileCacheBytes(steps, /*per_step=*/0));
+    Result<PropagationCache> loaded = TryLoadPropagationCacheFromStream(in);
+    ASSERT_FALSE(loaded.ok()) << "steps=" << steps << " accepted";
+    EXPECT_NE(loaded.status().message().find("block count"),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+}
+
+TEST(PropagationCacheTest, CacheErrorsAreNotReportedAsCheckpointErrors) {
+  std::istringstream in(std::string("XXXXXXXX") + std::string(24, '\0'));
+  Result<PropagationCache> loaded = TryLoadPropagationCacheFromStream(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("malformed propagation cache"),
+            std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_EQ(loaded.status().message().find("malformed checkpoint"),
+            std::string::npos)
+      << loaded.status().ToString();
 }
 
 TEST(PropagationCacheTest, CorruptedCacheIsRejected) {

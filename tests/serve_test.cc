@@ -256,6 +256,25 @@ TEST(MicroBatcherTest, ShutdownFailsLateSubmitsInsteadOfHanging) {
   EXPECT_FALSE(batcher.PumpOnce());
 }
 
+TEST(ServeMetricsTest, LatencyMemoryIsBoundedButStatsStayRepresentative) {
+  // Far more requests than the reservoir holds: the mean must stay exact
+  // (running sum) and the sampled percentiles representative of the whole
+  // 1..100 ms stream, not just a recent window.
+  serve::ServeMetrics metrics;
+  constexpr size_t kTotal = 12800;  // > 3x kLatencyReservoirCapacity
+  static_assert(kTotal > 3 * serve::ServeMetrics::kLatencyReservoirCapacity,
+                "test must overflow the reservoir");
+  for (size_t i = 0; i < kTotal; ++i) {
+    metrics.RecordRequest(static_cast<double>(i % 100) + 1.0, 1, true);
+  }
+  const serve::MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.requests, kTotal);
+  EXPECT_NEAR(snapshot.mean_latency_ms, 50.5, 1e-9);
+  EXPECT_NEAR(snapshot.p50_latency_ms, 50.0, 10.0);
+  EXPECT_NEAR(snapshot.p99_latency_ms, 99.0, 5.0);
+  EXPECT_GT(snapshot.p99_latency_ms, snapshot.p50_latency_ms);
+}
+
 TEST(ServeMetricsTest, PercentilesUseNearestRank) {
   std::vector<double> values;
   for (int i = 100; i >= 1; --i) values.push_back(i);

@@ -134,8 +134,13 @@ int Train(const Flags& flags) {
           "with/without --undirect, or on different data?)"));
     }
     Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
-    Result<ModelPtr> model = CreateModel(checkpoint->model_name, input,
-                                         checkpoint->model_config, &rng);
+    // Propagate with the checkpoint's recorded DP pattern set: the content
+    // hash above does not cover the train split, and a correlation-selected
+    // subset re-derived from a different split would silently bind the
+    // restored weights to the wrong patterns.
+    Result<ModelPtr> model = CreateModelWithPatterns(
+        checkpoint->model_name, input, checkpoint->model_config,
+        checkpoint->patterns, &rng);
     if (!model.ok()) return Fail(model.status());
     const Status loaded = LoadCheckpointIntoModel(*checkpoint, model->get());
     if (!loaded.ok()) return Fail(loaded);
