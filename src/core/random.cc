@@ -104,4 +104,18 @@ std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t count) {
   return indices;
 }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.words[i] = state_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace adpa

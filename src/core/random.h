@@ -4,6 +4,16 @@
 
 namespace adpa {
 
+/// The complete internal state of an Rng: the four xoshiro256** words plus
+/// the Box-Muller cache. Restoring it resumes the exact draw sequence —
+/// the training-resume path (src/train/trainer.h) persists this so a
+/// resumed run replays the same dropout masks bit for bit.
+struct RngState {
+  uint64_t words[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Deterministic, fast pseudo-random generator (xoshiro256** seeded through
 /// SplitMix64). Every stochastic component in the library draws from an
 /// explicitly seeded Rng so experiments are reproducible bit-for-bit.
@@ -47,6 +57,10 @@ class Rng {
 
   /// Returns `count` distinct indices drawn uniformly from [0, n).
   std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t count);
+
+  /// Snapshot / restore of the full generator state (see RngState).
+  RngState SaveState() const;
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t state_[4];

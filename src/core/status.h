@@ -15,6 +15,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kNotFound,
   kInternal,
+  /// Transient overload: the caller may retry later (queue full, deadline
+  /// exceeded). The serving layer maps this to a structured `overloaded`
+  /// reply instead of a generic error.
+  kUnavailable,
 };
 
 /// A lightweight success-or-error value. Cheap to copy in the OK case.
@@ -41,6 +45,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -7,6 +7,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/core/failpoint.h"
+
 namespace adpa {
 namespace {
 
@@ -68,6 +70,7 @@ Status SaveDataset(const Dataset& dataset, const std::string& path) {
 
 Result<Dataset> LoadDatasetFromStream(std::istream& in,
                                       const DatasetLimits& limits) {
+  ADPA_FAILPOINT("dataset.load");
   std::string magic;
   int version = 0;
   if (!(in >> magic >> version) || magic != "adpa-dataset" || version != 1) {

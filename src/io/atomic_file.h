@@ -1,0 +1,48 @@
+#pragma once
+#include <sstream>
+#include <string>
+
+#include "src/core/status.h"
+
+namespace adpa {
+
+/// All-or-nothing file replacement (DESIGN.md §10): the payload is staged
+/// in memory, then Commit runs write-to-temp → fsync → rename(2) →
+/// best-effort fsync of the parent directory. POSIX rename over an existing
+/// path is atomic, so a crash at *any* instant leaves either the previous
+/// file or the new complete file at `path` — never a torn mix. This is what
+/// makes checkpoint and propagation-cache writes crash-safe; the recovery
+/// tests drive `crash` failpoints through every stage of Commit and assert
+/// the old-or-new-complete invariant.
+///
+/// The temp file is `<path>.tmp`. A leftover temp from a crashed writer is
+/// harmless (loaders never look at it) and is overwritten by the next
+/// Commit against the same path.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path)
+      : path_(std::move(path)), temp_path_(path_ + ".tmp") {}
+
+  /// The staging buffer; nothing touches the filesystem until Commit.
+  std::ostream& stream() { return buffer_; }
+
+  /// Writes the staged bytes to the temp path, fsyncs, renames over `path`,
+  /// and fsyncs the parent directory. On failure the temp file is unlinked
+  /// (best effort) and the destination is untouched. Single-shot: a second
+  /// Commit is a FailedPrecondition.
+  Status Commit();
+
+  const std::string& path() const { return path_; }
+  const std::string& temp_path() const { return temp_path_; }
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  std::ostringstream buffer_;
+  bool committed_ = false;
+};
+
+/// One-shot convenience: stage `bytes` and Commit.
+Status WriteFileAtomically(const std::string& path, const std::string& bytes);
+
+}  // namespace adpa

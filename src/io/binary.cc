@@ -5,6 +5,8 @@
 #include <istream>
 #include <ostream>
 
+#include "src/core/failpoint.h"
+
 namespace adpa {
 
 bool HostIsLittleEndian() {
@@ -19,6 +21,9 @@ BinaryWriter::BinaryWriter(std::ostream* out) : out_(out) {
 }
 
 void BinaryWriter::WriteBytes(const void* data, size_t size) {
+  if (!status_.ok()) return;
+  // Injected failures latch exactly like a real stream error.
+  status_ = ADPA_FAILPOINT_STATUS("binary.write");
   if (!status_.ok()) return;
   out_->write(static_cast<const char*>(data),
               static_cast<std::streamsize>(size));
@@ -58,6 +63,7 @@ void BinaryWriter::WriteMatrix(const Matrix& matrix) {
 BinaryReader::BinaryReader(std::istream* in) : in_(in) {}
 
 Status BinaryReader::ReadBytes(void* data, size_t size) {
+  ADPA_FAILPOINT("binary.read");
   if (!HostIsLittleEndian()) {
     return Status::FailedPrecondition(
         "binary format v1 requires a little-endian host");

@@ -5,7 +5,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/core/failpoint.h"
 #include "src/core/hash.h"
+#include "src/io/atomic_file.h"
 #include "src/io/binary.h"
 #include "src/models/adpa.h"
 
@@ -14,7 +16,9 @@ namespace {
 
 constexpr char kCheckpointMagic[8] = {'A', 'D', 'P', 'A', 'C', 'K', 'P', 'T'};
 constexpr char kCacheMagic[8] = {'A', 'D', 'P', 'A', 'P', 'C', 'H', 'E'};
-constexpr uint32_t kFormatVersion = 1;
+/// v2 appended the optional TrainState record; readers accept 1..current.
+constexpr uint32_t kFormatVersion = 2;
+constexpr uint32_t kMinReadableVersion = 1;
 
 /// Human-readable container kinds for error messages, so a propagation-cache
 /// failure is never misreported as a checkpoint failure.
@@ -41,10 +45,11 @@ Status WriteContainer(const char magic[8], const std::string& payload,
   return Status::OK();
 }
 
-/// Validates the container header and returns the CRC-verified payload.
+/// Validates the container header and returns the CRC-verified payload plus
+/// the (already range-checked) format version in `*version_out`.
 Status ReadContainerPayload(const char magic[8], const char* kind,
                             std::istream& in, const CheckpointLimits& limits,
-                            std::string* payload) {
+                            std::string* payload, uint32_t* version_out) {
   BinaryReader reader(&in);
   char file_magic[8] = {};
   Status magic_read = reader.ReadBytes(file_magic, 8);
@@ -56,10 +61,11 @@ Status ReadContainerPayload(const char magic[8], const char* kind,
   uint32_t version = 0, crc = 0;
   uint64_t size = 0;
   ADPA_RETURN_IF_ERROR(reader.ReadU32(&version));
-  if (version != kFormatVersion) {
+  if (version < kMinReadableVersion || version > kFormatVersion) {
     return Malformed(kind,
                      "unsupported format version " + std::to_string(version));
   }
+  *version_out = version;
   ADPA_RETURN_IF_ERROR(reader.ReadU32(&crc));
   ADPA_RETURN_IF_ERROR(reader.ReadU64(&size));
   if (size > limits.max_payload_bytes) {
@@ -202,10 +208,87 @@ Status ReadCacheKey(BinaryReader* r, const CheckpointLimits& limits,
   return ReadPatterns(r, kCacheKind, limits, &key->patterns);
 }
 
+/// v2 training-resume record (after the tensor list; see DESIGN.md §10).
+void WriteTrainState(BinaryWriter* w, const TrainState& s) {
+  w->WriteI32(s.next_epoch);
+  w->WriteI32(s.epochs_since_best);
+  w->WriteI32(s.best_epoch);
+  w->WriteF64(s.best_val_accuracy);
+  w->WriteF64(s.test_accuracy);
+  for (uint64_t word : s.rng.words) w->WriteU64(word);
+  w->WriteU8(s.rng.has_cached_normal ? 1 : 0);
+  w->WriteF64(s.rng.cached_normal);
+  w->WriteI64(s.optimizer_step_count);
+  w->WriteU32(static_cast<uint32_t>(s.adam_first_moment.size()));
+  for (size_t i = 0; i < s.adam_first_moment.size(); ++i) {
+    w->WriteMatrix(s.adam_first_moment[i]);
+    w->WriteMatrix(s.adam_second_moment[i]);
+  }
+  w->WriteU32(static_cast<uint32_t>(s.val_curve.size()));
+  for (double v : s.val_curve) w->WriteF64(v);
+  w->WriteU32(static_cast<uint32_t>(s.train_loss_curve.size()));
+  for (double v : s.train_loss_curve) w->WriteF64(v);
+}
+
+Status ReadTrainState(BinaryReader* r, const CheckpointLimits& limits,
+                      TrainState* s) {
+  uint8_t has_cached_normal = 0;
+  ADPA_RETURN_IF_ERROR(r->ReadI32(&s->next_epoch));
+  ADPA_RETURN_IF_ERROR(r->ReadI32(&s->epochs_since_best));
+  ADPA_RETURN_IF_ERROR(r->ReadI32(&s->best_epoch));
+  ADPA_RETURN_IF_ERROR(r->ReadF64(&s->best_val_accuracy));
+  ADPA_RETURN_IF_ERROR(r->ReadF64(&s->test_accuracy));
+  for (uint64_t& word : s->rng.words) ADPA_RETURN_IF_ERROR(r->ReadU64(&word));
+  ADPA_RETURN_IF_ERROR(r->ReadU8(&has_cached_normal));
+  s->rng.has_cached_normal = has_cached_normal != 0;
+  ADPA_RETURN_IF_ERROR(r->ReadF64(&s->rng.cached_normal));
+  ADPA_RETURN_IF_ERROR(r->ReadI64(&s->optimizer_step_count));
+  if (s->next_epoch < 0 || s->epochs_since_best < 0 || s->best_epoch < 0 ||
+      s->optimizer_step_count < 0) {
+    return Malformed(kCheckpointKind, "negative train-state counter");
+  }
+  uint32_t moments = 0;
+  ADPA_RETURN_IF_ERROR(r->ReadU32(&moments));
+  if (moments > limits.max_tensors) {
+    return Malformed(kCheckpointKind, "moment count exceeds limit");
+  }
+  s->adam_first_moment.reserve(moments);
+  s->adam_second_moment.reserve(moments);
+  for (uint32_t i = 0; i < moments; ++i) {
+    Matrix first, second;
+    ADPA_RETURN_IF_ERROR(r->ReadMatrix(&first, limits.max_tensor_entries));
+    ADPA_RETURN_IF_ERROR(r->ReadMatrix(&second, limits.max_tensor_entries));
+    s->adam_first_moment.push_back(std::move(first));
+    s->adam_second_moment.push_back(std::move(second));
+  }
+  for (std::vector<double>* curve : {&s->val_curve, &s->train_loss_curve}) {
+    uint32_t points = 0;
+    ADPA_RETURN_IF_ERROR(r->ReadU32(&points));
+    if (points > limits.max_curve_points) {
+      return Malformed(kCheckpointKind, "curve length exceeds limit");
+    }
+    // Read one point at a time: a hostile count costs at most one failed
+    // 8-byte read past the payload, never a count-sized allocation.
+    for (uint32_t i = 0; i < points; ++i) {
+      double value = 0.0;
+      ADPA_RETURN_IF_ERROR(r->ReadF64(&value));
+      curve->push_back(value);
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status SaveCheckpointToStream(const Checkpoint& checkpoint,
                               std::ostream& out) {
+  ADPA_FAILPOINT("checkpoint.save");
+  if (checkpoint.train_state.has_value() &&
+      checkpoint.train_state->adam_first_moment.size() !=
+          checkpoint.train_state->adam_second_moment.size()) {
+    return Status::InvalidArgument(
+        "train state has mismatched Adam moment vector lengths");
+  }
   std::ostringstream body;
   BinaryWriter writer(&body);
   writer.WriteString(checkpoint.model_name);
@@ -219,23 +302,27 @@ Status SaveCheckpointToStream(const Checkpoint& checkpoint,
     writer.WriteString(tensor.name);
     writer.WriteMatrix(tensor.value);
   }
+  writer.WriteU8(checkpoint.train_state.has_value() ? 1 : 0);
+  if (checkpoint.train_state.has_value()) {
+    WriteTrainState(&writer, *checkpoint.train_state);
+  }
   ADPA_RETURN_IF_ERROR(writer.status());
   return WriteContainer(kCheckpointMagic, body.str(), out);
 }
 
 Status SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) {
-    return Status::Internal("cannot open for writing: " + path);
-  }
-  return SaveCheckpointToStream(checkpoint, out);
+  AtomicFileWriter writer(path);
+  ADPA_RETURN_IF_ERROR(SaveCheckpointToStream(checkpoint, writer.stream()));
+  return writer.Commit();
 }
 
 Result<Checkpoint> TryLoadCheckpointFromStream(std::istream& in,
                                                const CheckpointLimits& limits) {
+  ADPA_FAILPOINT("checkpoint.load");
   std::string payload;
+  uint32_t version = 0;
   ADPA_RETURN_IF_ERROR(ReadContainerPayload(kCheckpointMagic, kCheckpointKind,
-                                            in, limits, &payload));
+                                            in, limits, &payload, &version));
   std::istringstream body(payload);
   BinaryReader reader(&body);
   Checkpoint checkpoint;
@@ -261,6 +348,18 @@ Result<Checkpoint> TryLoadCheckpointFromStream(std::istream& in,
     ADPA_RETURN_IF_ERROR(
         reader.ReadMatrix(&tensor.value, limits.max_tensor_entries));
     checkpoint.tensors.push_back(std::move(tensor));
+  }
+  if (version >= 2) {
+    uint8_t has_train_state = 0;
+    ADPA_RETURN_IF_ERROR(reader.ReadU8(&has_train_state));
+    if (has_train_state > 1) {
+      return Malformed(kCheckpointKind, "train-state flag out of range");
+    }
+    if (has_train_state == 1) {
+      TrainState state;
+      ADPA_RETURN_IF_ERROR(ReadTrainState(&reader, limits, &state));
+      checkpoint.train_state = std::move(state);
+    }
   }
   return checkpoint;
 }
@@ -375,6 +474,7 @@ PropagationCacheKey MakePropagationCacheKey(
 
 Status SavePropagationCacheToStream(const PropagationCache& cache,
                                     std::ostream& out) {
+  ADPA_FAILPOINT("cache.save");
   std::ostringstream body;
   BinaryWriter writer(&body);
   WriteCacheKey(&writer, cache.key);
@@ -396,18 +496,18 @@ Status SavePropagationCacheToStream(const PropagationCache& cache,
 
 Status SavePropagationCache(const PropagationCache& cache,
                             const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) {
-    return Status::Internal("cannot open for writing: " + path);
-  }
-  return SavePropagationCacheToStream(cache, out);
+  AtomicFileWriter writer(path);
+  ADPA_RETURN_IF_ERROR(SavePropagationCacheToStream(cache, writer.stream()));
+  return writer.Commit();
 }
 
 Result<PropagationCache> TryLoadPropagationCacheFromStream(
     std::istream& in, const CheckpointLimits& limits) {
+  ADPA_FAILPOINT("cache.load");
   std::string payload;
-  ADPA_RETURN_IF_ERROR(
-      ReadContainerPayload(kCacheMagic, kCacheKind, in, limits, &payload));
+  uint32_t version = 0;
+  ADPA_RETURN_IF_ERROR(ReadContainerPayload(kCacheMagic, kCacheKind, in,
+                                            limits, &payload, &version));
   std::istringstream body(payload);
   BinaryReader reader(&body);
   PropagationCache cache;

@@ -1,9 +1,11 @@
 #pragma once
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/core/random.h"
 #include "src/core/status.h"
 #include "src/data/dataset.h"
 #include "src/graph/patterns.h"
@@ -23,10 +25,17 @@ namespace adpa {
 ///
 ///   offset size  field
 ///   0      8     magic "ADPACKPT" (checkpoints) / "ADPAPCHE" (caches)
-///   8      4     u32 format version (currently 1)
+///   8      4     u32 format version (currently 2; v1 files still load)
 ///   12     4     u32 CRC32 (IEEE) of the payload bytes
 ///   16     8     u64 payload size in bytes
 ///   24     —     payload (see checkpoint.cc for the field-by-field layout)
+///
+/// Version history: v2 appends an optional training-resume record (u8
+/// has_train_state + TrainState fields) after the tensor list; v1 readers
+/// would reject v2 files, v2 readers accept v1 files with no train state.
+///
+/// Path-based `Save*` goes through AtomicFileWriter (src/io/atomic_file.h):
+/// a crash mid-save leaves the previous file intact, never a torn one.
 ///
 /// `TryLoad*` is hostile-input safe in the LoadDatasetFromStream tradition:
 /// header fields are attacker-controlled until proven otherwise, so every
@@ -44,12 +53,34 @@ struct CheckpointLimits {
   uint32_t max_patterns = 4096;
   uint32_t max_pattern_length = 64;
   uint32_t max_cache_blocks = 4096;  ///< steps × blocks_per_step ceiling
+  uint32_t max_curve_points = 1u << 20;  ///< per training-curve vector (v2)
 };
 
 /// One named float32 tensor (a model parameter in `Parameters()` order).
 struct NamedTensor {
   std::string name;
   Matrix value;
+};
+
+/// Mid-training cursor persisted by TrainConfig::checkpoint_every snapshots
+/// (format v2): everything beyond the model weights that the epoch loop
+/// needs to continue as if it had never stopped — optimizer moments, the
+/// RNG stream, and the early-stopping bookkeeping. Restoring all of it is
+/// what makes a resumed run reach bitwise-identical final weights.
+struct TrainState {
+  int32_t next_epoch = 0;  ///< first epoch the resumed run executes
+  int32_t epochs_since_best = 0;
+  int32_t best_epoch = 0;
+  double best_val_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  RngState rng;
+  int64_t optimizer_step_count = 0;
+  /// Adam moments in Parameters() order; the two vectors are equal-length.
+  std::vector<Matrix> adam_first_moment;
+  std::vector<Matrix> adam_second_moment;
+  /// Curves accumulated so far (empty unless TrainConfig::record_curves).
+  std::vector<double> val_curve;
+  std::vector<double> train_loss_curve;
 };
 
 /// Everything needed to reconstruct a trained model next to its dataset:
@@ -66,6 +97,10 @@ struct Checkpoint {
   TrainConfig train_config;
   std::vector<DirectedPattern> patterns;
   std::vector<NamedTensor> tensors;
+  /// Present only in mid-training snapshots (TrainConfig::checkpoint_every);
+  /// final checkpoints from completed runs leave it empty, so their bytes
+  /// are identical whether or not the run was ever interrupted.
+  std::optional<TrainState> train_state;
 };
 
 Status SaveCheckpointToStream(const Checkpoint& checkpoint,

@@ -25,20 +25,27 @@ MicroBatcher::MicroBatcher(const InferenceSession* session,
                            ServeMetrics* metrics, Options options)
     : session_(session), metrics_(metrics), options_(options) {}
 
-MicroBatcher::Ticket MicroBatcher::Submit(std::vector<int64_t> nodes) {
+MicroBatcher::Ticket MicroBatcher::Submit(std::vector<int64_t> nodes,
+                                          int64_t deadline_ms) {
   Ticket ticket;
   ticket.state_ = std::make_shared<Ticket::State>();
   Request request;
   request.nodes = std::move(nodes);
-  // Wall-clock read is for queue-latency metrics only, never results.
+  request.deadline_ms = deadline_ms;
+  // Wall-clock reads feed queue deadlines/latency metrics only, never
+  // results.
   // lint:allow(deterministic-randomness)
   request.enqueue_time = std::chrono::steady_clock::now();
   request.state = ticket.state_;
-  bool rejected = false;
+  enum class Reject { kNone, kShutdown, kQueueFull };
+  Reject reject = Reject::kNone;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
-      rejected = true;
+      reject = Reject::kShutdown;
+    } else if (static_cast<int64_t>(queue_.size()) >=
+               options_.max_queue_depth) {
+      reject = Reject::kQueueFull;
     } else {
       queue_.push_back(std::move(request));
       if (metrics_ != nullptr) {
@@ -46,34 +53,69 @@ MicroBatcher::Ticket MicroBatcher::Submit(std::vector<int64_t> nodes) {
       }
     }
   }
-  if (rejected) {
-    Deliver(&request,
-            Status::FailedPrecondition("batcher is shut down"));
-  } else {
-    cv_.notify_one();
+  switch (reject) {
+    case Reject::kNone:
+      cv_.notify_one();
+      break;
+    case Reject::kShutdown:
+      Deliver(&request, Status::FailedPrecondition("batcher is shut down"));
+      break;
+    case Reject::kQueueFull:
+      if (metrics_ != nullptr) metrics_->RecordRejected();
+      Deliver(&request,
+              Status::Unavailable(
+                  "queue full (" +
+                  std::to_string(options_.max_queue_depth) +
+                  " requests pending); retry with backoff"));
+      break;
   }
   return ticket;
 }
 
 bool MicroBatcher::PumpOnce() {
   std::vector<Request> batch;
+  std::vector<Request> shed;
   {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
     if (queue_.empty()) return false;  // shut down and fully drained
+    // lint:allow(deterministic-randomness) — deadline check, not results
+    const auto now = std::chrono::steady_clock::now();
     int64_t total_nodes = 0;
     while (!queue_.empty()) {
-      const int64_t request_nodes =
-          static_cast<int64_t>(queue_.front().nodes.size());
+      Request& front = queue_.front();
+      if (front.deadline_ms > 0) {
+        const double waited_ms =
+            std::chrono::duration<double, std::milli>(now -
+                                                      front.enqueue_time)
+                .count();
+        if (waited_ms > static_cast<double>(front.deadline_ms)) {
+          // Past its deadline: serving it now would hand the client an
+          // answer it already gave up on — shed instead of serve stale.
+          shed.push_back(std::move(front));
+          queue_.pop_front();
+          continue;
+        }
+      }
+      const int64_t request_nodes = static_cast<int64_t>(front.nodes.size());
       if (!batch.empty() &&
           total_nodes + request_nodes > options_.max_batch_nodes) {
         break;
       }
       total_nodes += request_nodes;
-      batch.push_back(std::move(queue_.front()));
+      batch.push_back(std::move(front));
       queue_.pop_front();
     }
   }
+
+  for (Request& request : shed) {
+    if (metrics_ != nullptr) metrics_->RecordShed();
+    Deliver(&request,
+            Status::Unavailable("deadline exceeded after " +
+                                std::to_string(request.deadline_ms) +
+                                " ms in queue; retry with backoff"));
+  }
+  if (batch.empty()) return true;  // everything pending was shed
 
   std::vector<int64_t> merged;
   for (const Request& request : batch) {

@@ -32,6 +32,11 @@ class MicroBatcher {
     /// Soft cap on nodes per coalesced forward; a single larger request
     /// still runs alone rather than being split.
     int64_t max_batch_nodes = 4096;
+    /// Hard ceiling on queued requests. A Submit against a full queue is
+    /// rejected with kUnavailable (counted in ServeMetrics::rejected) —
+    /// bounded memory under overload, and clients get a retryable error
+    /// instead of unbounded latency.
+    int64_t max_queue_depth = 4096;
   };
 
   /// A client-side handle for one submitted request.
@@ -54,8 +59,11 @@ class MicroBatcher {
                Options options);
 
   /// Enqueues a request. Thread-safe. After Shutdown, tickets resolve to
-  /// FailedPrecondition instead of being silently dropped.
-  Ticket Submit(std::vector<int64_t> nodes);
+  /// FailedPrecondition instead of being silently dropped; against a full
+  /// queue they resolve to kUnavailable. `deadline_ms` > 0 bounds the queue
+  /// wait: a request still unpumped after that long is shed with a
+  /// kUnavailable error instead of being served stale (0 = no deadline).
+  Ticket Submit(std::vector<int64_t> nodes, int64_t deadline_ms = 0);
 
   /// Blocks until at least one request is pending (or shutdown), coalesces
   /// the queue into one forward, and delivers every reply. Returns false
@@ -71,6 +79,7 @@ class MicroBatcher {
  private:
   struct Request {
     std::vector<int64_t> nodes;
+    int64_t deadline_ms = 0;  ///< 0 = no deadline
     std::chrono::steady_clock::time_point enqueue_time;
     std::shared_ptr<Ticket::State> state;
   };

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iostream>
 #include <utility>
 
+#include "src/core/failpoint.h"
 #include "src/core/logging.h"
 
 namespace adpa::serve {
@@ -118,15 +120,28 @@ Result<InferenceSession> InferenceSession::Create(
   session.blocks_per_step_ = B;
 
   // --- Eq. 9 precompute: sidecar cache hit, else replay (and refresh). ---
+  // Graceful degradation is the contract here: a corrupt, truncated, or
+  // unreadable cache must never fail startup — the session recomputes and
+  // rewrites the sidecar, paying one slow start instead of an outage.
   const PropagationCacheKey key =
       MakePropagationCacheKey(dataset, config, checkpoint.patterns);
   if (!options.propagation_cache_path.empty()) {
-    Result<PropagationCache> cached = TryLoadPropagationCache(
-        options.propagation_cache_path, options.limits);
+    Status injected = ADPA_FAILPOINT_STATUS("serve.cache.load");
+    Result<PropagationCache> cached =
+        injected.ok() ? TryLoadPropagationCache(
+                            options.propagation_cache_path, options.limits)
+                      : Result<PropagationCache>(std::move(injected));
     if (cached.ok() && cached->key == key &&
         BlocksShapedLike(cached->blocks, session.steps_, B, n, f)) {
       session.blocks_ = std::move(cached->blocks);
       session.used_propagation_cache_ = true;
+    } else if (!cached.ok() &&
+               cached.status().code() != StatusCode::kNotFound) {
+      session.cache_degraded_ = true;
+      std::cerr << "warning: propagation cache "
+                << options.propagation_cache_path << " is unusable ("
+                << cached.status().ToString()
+                << "); recomputing and rewriting it\n";
     }
   }
   if (!session.used_propagation_cache_) {
@@ -137,10 +152,17 @@ Result<InferenceSession> InferenceSession::Create(
       PropagationCache cache;
       cache.key = key;
       cache.blocks = session.blocks_;
-      // Best effort: a failed cache write only costs the next startup.
-      const Status cache_write =
-          SavePropagationCache(cache, options.propagation_cache_path);
-      (void)cache_write;
+      // Best effort: a failed cache write only costs the next startup. The
+      // atomic rewrite also heals the corrupt-sidecar case above.
+      Status cache_write = ADPA_FAILPOINT_STATUS("serve.cache.write");
+      if (cache_write.ok()) {
+        cache_write =
+            SavePropagationCache(cache, options.propagation_cache_path);
+      }
+      if (!cache_write.ok()) {
+        std::cerr << "warning: propagation cache write failed ("
+                  << cache_write.ToString() << "); serving uncached\n";
+      }
     }
   }
 

@@ -63,6 +63,11 @@ class InferenceSession {
   /// True when the Eq. 9 precompute came from the sidecar cache.
   bool used_propagation_cache() const { return used_propagation_cache_; }
 
+  /// True when the sidecar cache existed but was corrupt/truncated and the
+  /// session degraded to recompute-and-rewrite (DESIGN.md §10). A missing
+  /// file or a key mismatch is an ordinary miss, not degradation.
+  bool cache_degraded() const { return cache_degraded_; }
+
  private:
   InferenceSession() = default;
 
@@ -86,6 +91,7 @@ class InferenceSession {
   int64_t num_nodes_ = 0;
   int64_t num_classes_ = 0;
   bool used_propagation_cache_ = false;
+  bool cache_degraded_ = false;
 
   /// blocks_[l][g]: block g of propagation step l (residual X^(0) first
   /// when config_.initial_residual), each num_nodes x feature_dim.

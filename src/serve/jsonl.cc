@@ -76,7 +76,7 @@ Result<ServeRequest> ParseRequestLine(const std::string& line,
   Parser parser{line};
   if (!parser.Consume('{')) return Malformed("expected '{'");
   ServeRequest request;
-  bool saw_id = false, saw_nodes = false;
+  bool saw_id = false, saw_nodes = false, saw_deadline = false;
   while (true) {
     std::string key;
     ADPA_RETURN_IF_ERROR(parser.ParseKey(&key));
@@ -103,6 +103,13 @@ Result<ServeRequest> ParseRequestLine(const std::string& line,
         }
       }
       saw_nodes = true;
+    } else if (key == "deadline_ms") {
+      if (saw_deadline) return Malformed("duplicate \"deadline_ms\"");
+      ADPA_RETURN_IF_ERROR(parser.ParseInt(&request.deadline_ms));
+      if (request.deadline_ms < 0) {
+        return Malformed("deadline_ms must be non-negative");
+      }
+      saw_deadline = true;
     } else {
       return Malformed("unknown key \"" + key + "\"");
     }
@@ -132,6 +139,12 @@ std::string FormatClassesReply(int64_t id,
 std::string FormatErrorReply(int64_t id, const std::string& message) {
   return "{\"id\":" + std::to_string(id) + ",\"error\":\"" +
          EscapeJsonString(message) + "\"}";
+}
+
+std::string FormatOverloadedReply(int64_t id, const std::string& detail) {
+  return "{\"id\":" + std::to_string(id) +
+         ",\"error\":\"overloaded\",\"detail\":\"" +
+         EscapeJsonString(detail) + "\"}";
 }
 
 std::string EscapeJsonString(const std::string& text) {

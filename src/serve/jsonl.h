@@ -7,17 +7,24 @@
 
 namespace adpa::serve {
 
-/// One JSON-lines inference request: {"id": 7, "nodes": [0, 12, 3]}.
+/// One JSON-lines inference request:
+/// {"id": 7, "nodes": [0, 12, 3], "deadline_ms": 50}.
 struct ServeRequest {
   int64_t id = 0;
   std::vector<int64_t> nodes;
+  /// Maximum queue wait the client will accept, in milliseconds; requests
+  /// older than this are shed with an `overloaded` reply instead of served
+  /// stale. 0 (the default, and the value when the key is absent) means no
+  /// deadline.
+  int64_t deadline_ms = 0;
 };
 
 /// Parses exactly the serving request schema — an object with an integer
-/// "id" and an integer array "nodes", in either order, nothing else.
-/// Hand-rolled on purpose: no JSON dependency, hostile input comes back as
-/// a Status (never a crash), and the restricted grammar keeps the parser
-/// auditable. Limits: `max_nodes` bounds the array before it is built.
+/// "id", an integer array "nodes", and an optional non-negative integer
+/// "deadline_ms", in any order, nothing else. Hand-rolled on purpose: no
+/// JSON dependency, hostile input comes back as a Status (never a crash),
+/// and the restricted grammar keeps the parser auditable. Limits:
+/// `max_nodes` bounds the array before it is built.
 Result<ServeRequest> ParseRequestLine(const std::string& line,
                                       uint64_t max_nodes = 1u << 20);
 
@@ -27,6 +34,10 @@ std::string FormatClassesReply(int64_t id, const std::vector<int64_t>& classes);
 
 /// {"id":7,"error":"..."} with the message JSON-escaped.
 std::string FormatErrorReply(int64_t id, const std::string& message);
+
+/// {"id":7,"error":"overloaded","detail":"..."} — the structured shape
+/// clients match on to retry with backoff (queue full or deadline shed).
+std::string FormatOverloadedReply(int64_t id, const std::string& detail);
 
 /// Escapes backslash, double quote, and control characters (\uXXXX).
 std::string EscapeJsonString(const std::string& text);

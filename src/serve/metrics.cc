@@ -47,6 +47,16 @@ void ServeMetrics::RecordQueueDepth(int64_t depth) {
   max_queue_depth_ = std::max(max_queue_depth_, depth);
 }
 
+void ServeMetrics::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
+void ServeMetrics::RecordShed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++shed_;
+}
+
 MetricsSnapshot ServeMetrics::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
@@ -54,6 +64,8 @@ MetricsSnapshot ServeMetrics::Snapshot() const {
   snapshot.errors = errors_;
   snapshot.nodes = nodes_;
   snapshot.batches = batches_;
+  snapshot.rejected = rejected_;
+  snapshot.shed = shed_;
   snapshot.max_queue_depth = max_queue_depth_;
   if (batches_ > 0) {
     snapshot.mean_batch_requests =

@@ -11,6 +11,8 @@ struct MetricsSnapshot {
   uint64_t errors = 0;         ///< requests answered with a non-OK Status
   uint64_t nodes = 0;          ///< total node queries answered
   uint64_t batches = 0;        ///< forward passes executed
+  uint64_t rejected = 0;       ///< requests refused at Submit (queue full)
+  uint64_t shed = 0;           ///< requests dropped past their deadline
   int64_t max_queue_depth = 0; ///< high-water mark of pending requests
   double mean_batch_requests = 0.0;  ///< requests coalesced per forward
   double mean_latency_ms = 0.0;
@@ -33,6 +35,11 @@ class ServeMetrics {
   void RecordRequest(double latency_ms, int64_t nodes_answered, bool ok);
   void RecordBatch(int64_t coalesced_requests);
   void RecordQueueDepth(int64_t depth);
+  /// Overload accounting: a rejection is a Submit refused on a full queue,
+  /// a shed is a queued request dropped once its deadline expired. Both
+  /// also surface as per-request kUnavailable errors via RecordRequest.
+  void RecordRejected();
+  void RecordShed();
 
   MetricsSnapshot Snapshot() const;
 
@@ -45,6 +52,8 @@ class ServeMetrics {
   uint64_t errors_ = 0;
   uint64_t nodes_ = 0;
   uint64_t batches_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t shed_ = 0;
   uint64_t batched_requests_ = 0;
   int64_t max_queue_depth_ = 0;
   double latency_sum_ms_ = 0.0;    ///< over every sample ever recorded

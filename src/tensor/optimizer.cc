@@ -77,4 +77,40 @@ void Adam::Step() {
   }
 }
 
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.step_count = step_count_;
+  state.first_moment = first_moment_;
+  state.second_moment = second_moment_;
+  return state;
+}
+
+Status Adam::RestoreState(AdamState state) {
+  if (state.first_moment.size() != parameters_.size() ||
+      state.second_moment.size() != parameters_.size()) {
+    return Status::InvalidArgument(
+        "Adam state has " + std::to_string(state.first_moment.size()) + "/" +
+        std::to_string(state.second_moment.size()) +
+        " moment matrices but the optimizer tracks " +
+        std::to_string(parameters_.size()) + " parameters");
+  }
+  if (state.step_count < 0) {
+    return Status::InvalidArgument("Adam state has a negative step count");
+  }
+  for (size_t k = 0; k < parameters_.size(); ++k) {
+    const Matrix& value = parameters_[k].value();
+    if (!state.first_moment[k].SameShape(value) ||
+        !state.second_moment[k].SameShape(value)) {
+      return Status::InvalidArgument(
+          "Adam state moment " + std::to_string(k) +
+          " does not match its parameter shape (checkpoint from a "
+          "different model configuration?)");
+    }
+  }
+  step_count_ = state.step_count;
+  first_moment_ = std::move(state.first_moment);
+  second_moment_ = std::move(state.second_moment);
+  return Status::OK();
+}
+
 }  // namespace adpa

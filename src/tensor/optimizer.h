@@ -1,6 +1,8 @@
 #pragma once
+#include <cstdint>
 #include <vector>
 
+#include "src/core/status.h"
 #include "src/tensor/autograd.h"
 #include "src/tensor/matrix.h"
 
@@ -41,6 +43,17 @@ class Sgd : public Optimizer {
   float weight_decay_;
 };
 
+/// Adam's full internal state: the step counter that drives the bias
+/// correction plus one pair of per-parameter moment matrices. Exporting and
+/// restoring it mid-run is what makes training resume bitwise-exact
+/// (src/train/trainer.h) — resuming with zeroed moments would converge to
+/// different weights.
+struct AdamState {
+  int64_t step_count = 0;
+  std::vector<Matrix> first_moment;
+  std::vector<Matrix> second_moment;
+};
+
 /// Adam (Kingma & Ba) with decoupled-free classic L2 weight decay, matching
 /// the configuration typically used to train GNN baselines.
 class Adam : public Optimizer {
@@ -50,6 +63,13 @@ class Adam : public Optimizer {
        float epsilon = 1e-8f);
 
   void Step() override;
+
+  /// Deep copy of the moments and step counter.
+  AdamState ExportState() const;
+
+  /// Shape-checked restore; the state must come from an Adam over the same
+  /// parameter list (count and shapes must match exactly).
+  Status RestoreState(AdamState state);
 
  private:
   float learning_rate_;

@@ -1,7 +1,9 @@
 #pragma once
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "src/core/status.h"
 #include "src/data/dataset.h"
 #include "src/models/model.h"
 #include "src/tensor/matrix.h"
@@ -31,6 +33,22 @@ struct TrainConfig {
   /// TrainResult::dead_parameters. One-time cost proportional to the tape
   /// size; subsequent epochs rebuild the same graph shape.
   bool verify_tape = false;
+
+  // --- Crash-safe training (DESIGN.md §10). These three fields are resume
+  // mechanics, not hyperparameters: they are deliberately NOT serialized
+  // into checkpoints, so the final checkpoint of a resumed run is
+  // byte-identical to that of an uninterrupted one.
+
+  /// > 0: every `checkpoint_every` epochs, atomically rewrite
+  /// `checkpoint_path` with a full training snapshot (weights + Adam
+  /// moments + RNG/epoch cursor). A failed snapshot write is a warning,
+  /// never a training abort.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// Non-empty: restore the snapshot at this path before the first epoch
+  /// and continue from its recorded cursor. At the same thread count the
+  /// resumed run reaches bitwise-identical final weights.
+  std::string resume_from;
 };
 
 /// Outcome of one training run. `test_accuracy` is measured at the epoch
@@ -43,8 +61,18 @@ struct TrainResult {
   /// Number of parameters unreachable from the loss (only populated when
   /// TrainConfig::verify_tape is set; such parameters never train).
   int64_t dead_parameters = 0;
+  /// Epoch the run resumed at (-1 when it started fresh).
+  int resumed_from_epoch = -1;
   std::vector<double> val_curve;
   std::vector<double> train_loss_curve;
+};
+
+/// Identity stamped into periodic training snapshots so a `resume_from`
+/// file is self-describing: adpa_cli rebuilds the model from the snapshot's
+/// recorded config and patterns alone, with no flag archaeology.
+struct SnapshotContext {
+  std::string model_name = "snapshot";
+  ModelConfig model_config;
 };
 
 /// Fraction of rows in `indices` whose argmax logit equals the label.
@@ -57,6 +85,18 @@ double Accuracy(const Matrix& logits, const std::vector<int64_t>& labels,
 /// state; the best-epoch test metric is captured on the fly).
 TrainResult TrainModel(Model* model, const Dataset& dataset,
                        const TrainConfig& config, Rng* rng);
+
+/// TrainModel plus the crash-safety machinery: honors
+/// TrainConfig::{checkpoint_every, checkpoint_path, resume_from} and
+/// surfaces snapshot-restore failures as a Status instead of aborting.
+/// `context` (optional) stamps the model identity into snapshots. The model
+/// must be constructed exactly as in the original run (same config, same
+/// patterns) — snapshot restore overwrites its weights and the RNG state,
+/// which is what makes resumption bitwise-exact.
+Result<TrainResult> TrainModelResumable(Model* model, const Dataset& dataset,
+                                        const TrainConfig& config, Rng* rng,
+                                        const SnapshotContext* context =
+                                            nullptr);
 
 }  // namespace adpa
 

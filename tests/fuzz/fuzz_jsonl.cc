@@ -1,0 +1,74 @@
+// Fuzz target: the JSON-lines serving protocol on attacker-controlled bytes.
+//
+// Invariants under test:
+//  * ParseRequestLine never aborts or trips ASan/UBSan — hostile input comes
+//    back as a non-OK Status, and the `max_nodes` ceiling bounds the node
+//    array before it is built;
+//  * any request the parser accepts has in-contract fields (non-negative
+//    deadline, nodes within the limit);
+//  * every reply formatter emits a parseable single line for any accepted
+//    request: no raw control characters, no unescaped quotes, no embedded
+//    newline (which would desynchronize the JSONL framing);
+//  * EscapeJsonString is idempotent on its own output modulo backslash
+//    doubling — concretely, escaping never produces raw control bytes.
+//
+// The limit is tight so the fuzzer explores the ceiling check with small
+// inputs instead of growing megabyte node arrays.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/serve/jsonl.h"
+
+namespace {
+
+using adpa::Result;
+using adpa::serve::ServeRequest;
+
+// A JSONL reply line must contain no raw control characters (escaping is
+// the formatter's job) and in particular no newline.
+void CheckReplyLine(const std::string& reply) {
+  if (reply.empty() || reply.front() != '{' || reply.back() != '}') {
+    __builtin_trap();
+  }
+  for (const char c : reply) {
+    if (static_cast<unsigned char>(c) < 0x20) __builtin_trap();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  constexpr uint64_t kMaxNodes = 64;
+  const std::string line(reinterpret_cast<const char*>(data), size);
+
+  Result<ServeRequest> request = adpa::serve::ParseRequestLine(line, kMaxNodes);
+  if (request.ok()) {
+    if (request->deadline_ms < 0) __builtin_trap();
+    if (request->nodes.size() > kMaxNodes) __builtin_trap();
+    CheckReplyLine(
+        adpa::serve::FormatClassesReply(request->id, request->nodes));
+  } else {
+    // The rejection message itself flows into a reply: it must stay framed.
+    CheckReplyLine(
+        adpa::serve::FormatErrorReply(7, request.status().message()));
+  }
+
+  // The raw input doubles as a hostile error/detail string.
+  CheckReplyLine(adpa::serve::FormatErrorReply(-1, line));
+  CheckReplyLine(adpa::serve::FormatOverloadedReply(1, line));
+
+  // Escaping must remove every raw control byte and be stable: escaping an
+  // already-escaped string introduces nothing but doubled backslashes, so a
+  // second pass over the output still yields a control-free string.
+  const std::string escaped = adpa::serve::EscapeJsonString(line);
+  for (const char c : escaped) {
+    if (static_cast<unsigned char>(c) < 0x20) __builtin_trap();
+  }
+  const std::string twice = adpa::serve::EscapeJsonString(escaped);
+  for (const char c : twice) {
+    if (static_cast<unsigned char>(c) < 0x20) __builtin_trap();
+  }
+  return 0;
+}

@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -10,6 +13,7 @@
 #include "src/data/generators.h"
 #include "src/data/io.h"
 #include "src/data/splits.h"
+#include "src/io/binary.h"
 
 namespace adpa {
 namespace {
@@ -157,6 +161,121 @@ TEST_F(IoTest, HostileHeaderDimensionsAreRejectedBeforeAllocation) {
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.status().message().find("edge count exceeds limit"),
             std::string::npos);
+}
+
+// Truncation sweep over the checked binary primitives (src/io/binary.h):
+// every Read* must turn every possible short read — each byte boundary of
+// its encoding, including zero bytes — into a non-OK Status, never a crash
+// or a silently partial value. These primitives are the only file-access
+// surface of src/io/ and src/serve/, so this sweep is the bedrock of the
+// corrupt-artifact degradation guarantees.
+TEST(BinaryTruncationSweepTest, EveryPrimitiveRejectsEveryShortRead) {
+  struct Primitive {
+    const char* name;
+    size_t encoded_size;
+    std::function<Status(BinaryReader*)> read;
+  };
+  const std::string text = "abcdef";
+  std::ostringstream matrix_stream;
+  {
+    BinaryWriter writer(&matrix_stream);
+    Matrix m(2, 3);
+    for (int64_t r = 0; r < 2; ++r) {
+      for (int64_t c = 0; c < 3; ++c) m.At(r, c) = static_cast<float>(r + c);
+    }
+    writer.WriteMatrix(m);
+    ASSERT_TRUE(writer.status().ok());
+  }
+  const std::vector<Primitive> primitives = {
+      {"ReadU8", 1,
+       [](BinaryReader* r) {
+         uint8_t v;
+         return r->ReadU8(&v);
+       }},
+      {"ReadU32", 4,
+       [](BinaryReader* r) {
+         uint32_t v;
+         return r->ReadU32(&v);
+       }},
+      {"ReadU64", 8,
+       [](BinaryReader* r) {
+         uint64_t v;
+         return r->ReadU64(&v);
+       }},
+      {"ReadI32", 4,
+       [](BinaryReader* r) {
+         int32_t v;
+         return r->ReadI32(&v);
+       }},
+      {"ReadI64", 8,
+       [](BinaryReader* r) {
+         int64_t v;
+         return r->ReadI64(&v);
+       }},
+      {"ReadF32", 4,
+       [](BinaryReader* r) {
+         float v;
+         return r->ReadF32(&v);
+       }},
+      {"ReadF64", 8,
+       [](BinaryReader* r) {
+         double v;
+         return r->ReadF64(&v);
+       }},
+      {"ReadBytes", 6,
+       [](BinaryReader* r) {
+         char buffer[6];
+         return r->ReadBytes(buffer, sizeof(buffer));
+       }},
+      {"ReadString", 4 + text.size(),
+       [](BinaryReader* r) {
+         std::string v;
+         return r->ReadString(&v, 1024);
+       }},
+      {"ReadMatrix", matrix_stream.str().size(),
+       [](BinaryReader* r) {
+         Matrix v;
+         return r->ReadMatrix(&v, 1024);
+       }},
+  };
+
+  for (const Primitive& primitive : primitives) {
+    // A well-formed encoding of exactly this primitive.
+    std::ostringstream out;
+    BinaryWriter writer(&out);
+    if (std::string(primitive.name) == "ReadString") {
+      writer.WriteString(text);
+    } else if (std::string(primitive.name) == "ReadMatrix") {
+      out << matrix_stream.str();
+    } else if (std::string(primitive.name) == "ReadBytes") {
+      writer.WriteBytes(text.data(), 6);
+    } else if (primitive.encoded_size == 1) {
+      writer.WriteU8(0xAB);
+    } else if (primitive.encoded_size == 4) {
+      writer.WriteU32(0xDEADBEEF);
+    } else {
+      writer.WriteU64(0xDEADBEEFCAFEF00Dull);
+    }
+    ASSERT_TRUE(writer.status().ok());
+    const std::string bytes = out.str();
+    ASSERT_EQ(bytes.size(), primitive.encoded_size) << primitive.name;
+
+    // The full encoding reads back OK...
+    {
+      std::istringstream in(bytes);
+      BinaryReader reader(&in);
+      EXPECT_TRUE(primitive.read(&reader).ok()) << primitive.name;
+    }
+    // ...and every strict prefix is a checked error.
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      std::istringstream in(bytes.substr(0, len));
+      BinaryReader reader(&in);
+      const Status status = primitive.read(&reader);
+      EXPECT_FALSE(status.ok())
+          << primitive.name << " accepted a " << len << "-byte prefix of its "
+          << bytes.size() << "-byte encoding";
+    }
+  }
 }
 
 TEST_F(IoTest, HandWrittenFileLoads) {

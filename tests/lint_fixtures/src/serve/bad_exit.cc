@@ -1,0 +1,22 @@
+// Fixture: no-bare-exit must fire on every process-terminating call in
+// library code — exit(), std::abort(), _exit() — and the lint:allow escape
+// hatch must suppress it.
+#include <cstdlib>
+
+#include <unistd.h>
+
+namespace adpa::serve {
+
+void GiveUp(bool badly) {
+  if (badly) exit(2);
+  std::abort();
+}
+
+void GiveUpHarder() { _exit(3); }
+
+void SanctionedShutdown() {
+  // lint:allow(no-bare-exit)
+  exit(0);
+}
+
+}  // namespace adpa::serve

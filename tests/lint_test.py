@@ -87,6 +87,14 @@ class LintRuleTest(unittest.TestCase):
         # line); snprintf does not.
         self.assertEqual(len(hits), 3)
 
+    def test_no_bare_exit_fires_on_process_terminating_calls(self):
+        hits = [(line, rule) for p, line, rule in self.findings
+                if p == "src/serve/bad_exit.cc"]
+        self.assertEqual({rule for _, rule in hits}, {"no-bare-exit"})
+        # exit(2), std::abort(), and _exit(3) fire; the lint:allow'd exit(0)
+        # is suppressed.
+        self.assertEqual(len(hits), 3)
+
     def test_no_unordered_iteration_fires_on_range_for_only(self):
         hits = [line for p, line, rule in self.findings
                 if p == "src/models/bad_unordered.cc"]

@@ -4,6 +4,7 @@
 // the micro-batcher must answer concurrent clients correctly; the JSON
 // lines codec must accept exactly the request schema.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <thread>
@@ -256,6 +257,67 @@ TEST(MicroBatcherTest, ShutdownFailsLateSubmitsInsteadOfHanging) {
   EXPECT_FALSE(batcher.PumpOnce());
 }
 
+TEST(MicroBatcherTest, FullQueueRejectsWithRetryableOverloadError) {
+  SessionFixture fixture(SmallConfig());
+  serve::InferenceSession session = fixture.Session();
+  serve::ServeMetrics metrics;
+  serve::MicroBatcher::Options options;
+  options.max_queue_depth = 1;
+  serve::MicroBatcher batcher(&session, &metrics, options);
+
+  auto accepted = batcher.Submit({0});
+  auto rejected = batcher.Submit({1});  // queue already at its ceiling
+  Result<std::vector<int64_t>> overflow = rejected.Wait();
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kUnavailable)
+      << "queue-full must be the retryable overload code, got "
+      << overflow.status().ToString();
+  EXPECT_NE(overflow.status().message().find("queue full"),
+            std::string::npos);
+
+  while (batcher.queue_depth() > 0) batcher.PumpOnce();
+  EXPECT_TRUE(accepted.Wait().ok())
+      << "the request that made it into the queue must still be served";
+  const serve::MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.rejected, 1u);
+  EXPECT_EQ(snapshot.shed, 0u);
+}
+
+TEST(MicroBatcherTest, ExpiredDeadlineShedsInsteadOfServingStale) {
+  SessionFixture fixture(SmallConfig());
+  serve::InferenceSession session = fixture.Session();
+  serve::ServeMetrics metrics;
+  serve::MicroBatcher batcher(&session, &metrics);
+
+  auto doomed = batcher.Submit({0, 1}, /*deadline_ms=*/1);
+  auto patient = batcher.Submit({2}, /*deadline_ms=*/600000);
+  auto forever = batcher.Submit({3});  // 0 = no deadline
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  while (batcher.queue_depth() > 0) batcher.PumpOnce();
+
+  Result<std::vector<int64_t>> shed = doomed.Wait();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.status().message().find("deadline"), std::string::npos);
+  EXPECT_TRUE(patient.Wait().ok());
+  EXPECT_TRUE(forever.Wait().ok());
+  const serve::MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.shed, 1u);
+  EXPECT_EQ(snapshot.rejected, 0u);
+}
+
+TEST(MicroBatcherTest, PumpReturnsTrueWhenEverythingPendingWasShed) {
+  // A pump round that sheds its whole queue must report "keep pumping",
+  // not "drained and shut down".
+  SessionFixture fixture(SmallConfig());
+  serve::InferenceSession session = fixture.Session();
+  serve::MicroBatcher batcher(&session, nullptr);
+  auto doomed = batcher.Submit({0}, /*deadline_ms=*/1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(batcher.PumpOnce());
+  EXPECT_FALSE(doomed.Wait().ok());
+}
+
 TEST(ServeMetricsTest, LatencyMemoryIsBoundedButStatsStayRepresentative) {
   // Far more requests than the reservoir holds: the mean must stay exact
   // (running sum) and the sampled percentiles representative of the whole
@@ -327,6 +389,36 @@ TEST(JsonlTest, FormatsRepliesWithEscaping) {
   EXPECT_EQ(serve::FormatClassesReply(-1, {}), R"({"id":-1,"classes":[]})");
   EXPECT_EQ(serve::FormatErrorReply(3, "bad \"node\"\n"),
             R"({"id":3,"error":"bad \"node\"\n"})");
+}
+
+TEST(JsonlTest, ParsesOptionalDeadline) {
+  Result<serve::ServeRequest> request = serve::ParseRequestLine(
+      R"({"id": 7, "nodes": [1], "deadline_ms": 50})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->deadline_ms, 50);
+
+  request = serve::ParseRequestLine(R"({"deadline_ms":0,"id":1,"nodes":[]})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->deadline_ms, 0);
+
+  // Absent key means no deadline.
+  request = serve::ParseRequestLine(R"({"id":1,"nodes":[2]})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->deadline_ms, 0);
+
+  EXPECT_FALSE(serve::ParseRequestLine(
+                   R"({"id":1,"nodes":[],"deadline_ms":-5})")
+                   .ok());
+  EXPECT_FALSE(serve::ParseRequestLine(
+                   R"({"id":1,"nodes":[],"deadline_ms":1,"deadline_ms":2})")
+                   .ok());
+}
+
+TEST(JsonlTest, FormatsTheStructuredOverloadReply) {
+  EXPECT_EQ(serve::FormatOverloadedReply(9, "queue full"),
+            R"({"id":9,"error":"overloaded","detail":"queue full"})");
+  EXPECT_EQ(serve::FormatOverloadedReply(-1, "say \"later\"\n"),
+            R"({"id":-1,"error":"overloaded","detail":"say \"later\"\n"})");
 }
 
 }  // namespace

@@ -17,6 +17,16 @@
 //   adpa_cli train --in=g.txt --load_checkpoint=m.ckpt
 //       Skip training: restore the model from a checkpoint (hyperparameters
 //       come from the checkpoint, not the flags) and report test accuracy.
+//
+//   adpa_cli train --in=g.txt ... --checkpoint_every=25 --checkpoint_path=s.ckpt
+//       Crash-safe training: every N epochs, atomically snapshot the full
+//       training state (weights + Adam moments + RNG/epoch cursor).
+//
+//   adpa_cli train --in=g.txt --resume_from=s.ckpt
+//       Continue an interrupted run from its latest snapshot. Model shape,
+//       patterns, and training hyperparameters come from the snapshot; at
+//       the same thread count the final weights are bitwise identical to an
+//       uninterrupted run.
 
 #include <cstdio>
 #include <string>
@@ -51,6 +61,8 @@ int Usage() {
                "           [--epochs=N --hidden=N --steps=N --order=N "
                "--lr=F --seed=N --check_finite]\n"
                "           [--save_checkpoint=F | --load_checkpoint=F]\n"
+               "           [--checkpoint_every=N --checkpoint_path=F]\n"
+               "           [--resume_from=F]\n"
                "  any command also accepts --threads=N (0 = auto); results\n"
                "  are independent of the thread count\n");
   return 2;
@@ -153,33 +165,86 @@ int Train(const Flags& flags) {
     return 0;
   }
 
+  const std::string resume_path = flags.GetString("resume_from", "");
   ModelConfig config;
-  config.hidden = flags.GetInt("hidden", 64);
-  config.propagation_steps = static_cast<int>(flags.GetInt("steps", 2));
-  config.pattern_order = static_cast<int>(flags.GetInt("order", 2));
-  config.dropout = static_cast<float>(flags.GetDouble("dropout", 0.5));
-  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
-  Result<ModelPtr> model = CreateModel(model_name, input, config, &rng);
-  if (!model.ok()) return Fail(model.status());
-
   TrainConfig train_config;
-  train_config.max_epochs = static_cast<int>(flags.GetInt("epochs", 200));
-  train_config.patience = static_cast<int>(flags.GetInt("patience", 30));
-  train_config.learning_rate =
-      static_cast<float>(flags.GetDouble("lr", 0.01));
-  train_config.check_finite = flags.GetBool("check_finite", false);
-  const TrainResult result =
-      TrainModel(model->get(), input, train_config, &rng);
+  std::string resolved_model_name = model_name;
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  Result<ModelPtr> model = Status::Internal("model not constructed");
+  if (!resume_path.empty()) {
+    // Resume: everything that shaped the original run — model name, config,
+    // pattern set, training hyperparameters — comes from the snapshot, not
+    // the flags, so the resumed trajectory is the original one.
+    Result<Checkpoint> snapshot = TryLoadCheckpoint(resume_path);
+    if (!snapshot.ok()) return Fail(snapshot.status());
+    if (!snapshot->train_state.has_value()) {
+      return Fail(Status::InvalidArgument(
+          resume_path + " is a final checkpoint without training state; "
+          "only periodic snapshots (--checkpoint_every) can be resumed"));
+    }
+    if (snapshot->dataset_hash != 0 &&
+        snapshot->dataset_hash != DatasetContentHash(input)) {
+      return Fail(Status::FailedPrecondition(
+          "dataset content does not match the snapshot (was it trained "
+          "with/without --undirect, or on different data?)"));
+    }
+    resolved_model_name = snapshot->model_name;
+    config = snapshot->model_config;
+    model = CreateModelWithPatterns(resolved_model_name, input, config,
+                                    snapshot->patterns, &rng);
+    train_config = snapshot->train_config;
+    train_config.check_finite = flags.GetBool("check_finite", false);
+    train_config.resume_from = resume_path;
+    // Keep snapshotting into the same file by default: a run that survived
+    // one interruption should stay crash-safe without re-plumbing flags.
+    train_config.checkpoint_every =
+        static_cast<int>(flags.GetInt("checkpoint_every", 0));
+    train_config.checkpoint_path =
+        flags.GetString("checkpoint_path", resume_path);
+  } else {
+    config.hidden = flags.GetInt("hidden", 64);
+    config.propagation_steps = static_cast<int>(flags.GetInt("steps", 2));
+    config.pattern_order = static_cast<int>(flags.GetInt("order", 2));
+    config.dropout = static_cast<float>(flags.GetDouble("dropout", 0.5));
+    model = CreateModel(resolved_model_name, input, config, &rng);
+    train_config.max_epochs = static_cast<int>(flags.GetInt("epochs", 200));
+    train_config.patience = static_cast<int>(flags.GetInt("patience", 30));
+    train_config.learning_rate =
+        static_cast<float>(flags.GetDouble("lr", 0.01));
+    train_config.check_finite = flags.GetBool("check_finite", false);
+    train_config.checkpoint_every =
+        static_cast<int>(flags.GetInt("checkpoint_every", 0));
+    train_config.checkpoint_path = flags.GetString("checkpoint_path", "");
+  }
+  if (!model.ok()) return Fail(model.status());
+  if (train_config.checkpoint_every > 0 &&
+      train_config.checkpoint_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--checkpoint_every requires --checkpoint_path"));
+  }
+
+  SnapshotContext context;
+  context.model_name = resolved_model_name;
+  context.model_config = config;
+  const Result<TrainResult> trained =
+      TrainModelResumable(model->get(), input, train_config, &rng, &context);
+  if (!trained.ok()) return Fail(trained.status());
+  const TrainResult& result = *trained;
+  if (result.resumed_from_epoch >= 0) {
+    std::printf("resumed %s from %s at epoch %d\n",
+                resolved_model_name.c_str(), resume_path.c_str(),
+                result.resumed_from_epoch);
+  }
   std::printf("%s on %s: val %.1f%% (epoch %d), test %.1f%% after %d "
               "epochs\n",
-              model_name.c_str(), input.name.c_str(),
+              resolved_model_name.c_str(), input.name.c_str(),
               result.best_val_accuracy * 100.0, result.best_epoch,
               result.test_accuracy * 100.0, result.epochs_run);
 
   const std::string save_path = flags.GetString("save_checkpoint", "");
   if (!save_path.empty()) {
     const Checkpoint checkpoint = MakeCheckpoint(
-        *model->get(), model_name, input, config, train_config);
+        *model->get(), resolved_model_name, input, config, train_config);
     const Status saved = SaveCheckpoint(checkpoint, save_path);
     if (!saved.ok()) return Fail(saved);
     std::printf("checkpoint written to %s (%lld tensors)\n",

@@ -4,11 +4,19 @@
 //   adpa_serve --checkpoint=m.ckpt --in=g.txt < queries.jsonl > replies.jsonl
 //
 // Protocol: one request object per stdin line, one reply per stdout line,
-// in request order. Requests are {"id": 7, "nodes": [0, 12, 3]}; replies
-// are {"id":7,"classes":[1,0,2]} or {"id":7,"error":"..."}. The process
-// exits at EOF and prints a metrics summary (latency percentiles, QPS,
-// batching counters) to stderr, keeping stdout byte-stable for golden
+// in request order. Requests are {"id": 7, "nodes": [0, 12, 3]} with an
+// optional "deadline_ms"; replies are {"id":7,"classes":[1,0,2]},
+// {"id":7,"error":"..."}, or — when the request was rejected at a full
+// queue or shed past its deadline — the structured retry shape
+// {"id":7,"error":"overloaded","detail":"..."}. The process exits at EOF
+// and prints a metrics summary (latency percentiles, QPS, batching and
+// shedding counters) to stderr, keeping stdout byte-stable for golden
 // comparisons.
+//
+// Shutdown: SIGTERM/SIGINT switch the server to draining — it stops
+// reading stdin, answers every request already submitted, flushes stdout,
+// and exits 0. SIGPIPE is ignored so a vanished reader surfaces as a
+// write error instead of killing the process.
 //
 // Flags:
 //   --checkpoint=F        trained model (required)
@@ -18,14 +26,20 @@
 //   --batch_lines=N       stdin lines submitted before pumping (default 1;
 //                         raise to coalesce pipelined queries per forward)
 //   --max_batch_nodes=N   node cap per coalesced forward (default 4096)
+//   --max_queue_depth=N   pending-request ceiling before Submit is rejected
+//                         with "overloaded" (default 4096)
 //   --threads=N           kernel thread count (0 = auto)
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
-#include <iostream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include <unistd.h>
 
 #include "src/core/flags.h"
 #include "src/core/parallel.h"
@@ -39,6 +53,56 @@
 namespace adpa {
 namespace {
 
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+extern "C" void HandleShutdownSignal(int signal_number) {
+  g_shutdown_signal = signal_number;
+}
+
+/// Line reader over fd 0 built on raw ::read. std::getline can't be used
+/// here: libstdc++ retries read() on EINTR inside the stream buffer, so a
+/// SIGTERM delivered while blocked on stdin would never interrupt the wait
+/// and the drain path would only run at the next newline.
+class StdinLineReader {
+ public:
+  enum class ReadResult { kLine, kEof, kInterrupted };
+
+  ReadResult Next(std::string* line) {
+    while (true) {
+      const size_t newline = buffer_.find('\n', scan_from_);
+      if (newline != std::string::npos) {
+        line->assign(buffer_, 0, newline);
+        buffer_.erase(0, newline + 1);
+        scan_from_ = 0;
+        return ReadResult::kLine;
+      }
+      scan_from_ = buffer_.size();
+      char chunk[4096];
+      const ssize_t got = ::read(STDIN_FILENO, chunk, sizeof(chunk));
+      if (got > 0) {
+        buffer_.append(chunk, static_cast<size_t>(got));
+        continue;
+      }
+      if (got == 0) {
+        if (buffer_.empty()) return ReadResult::kEof;
+        line->swap(buffer_);  // final unterminated line
+        buffer_.clear();
+        scan_from_ = 0;
+        return ReadResult::kLine;
+      }
+      if (errno == EINTR) {
+        if (g_shutdown_signal != 0) return ReadResult::kInterrupted;
+        continue;
+      }
+      return ReadResult::kEof;  // unreadable stdin ends the serve loop
+    }
+  }
+
+ private:
+  std::string buffer_;
+  size_t scan_from_ = 0;
+};
+
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
@@ -48,9 +112,11 @@ int Usage() {
   std::fprintf(stderr,
                "usage: adpa_serve --checkpoint=F --in=F [--undirect]\n"
                "                  [--cache=F --batch_lines=N "
-               "--max_batch_nodes=N --threads=N]\n"
+               "--max_batch_nodes=N\n"
+               "                  --max_queue_depth=N --threads=N]\n"
                "reads JSON-lines requests from stdin, writes replies to "
-               "stdout\n");
+               "stdout;\n"
+               "SIGTERM/SIGINT drain in-flight requests and exit 0\n");
   return 2;
 }
 
@@ -63,6 +129,16 @@ int Main(int argc, char** argv) {
   if (flags.Has("threads")) {
     SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
   }
+
+  // No SA_RESTART: a signal must interrupt the blocking stdin read so the
+  // drain path runs immediately rather than at the next request line.
+  struct sigaction drain_action {};
+  drain_action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&drain_action.sa_mask);
+  drain_action.sa_flags = 0;
+  sigaction(SIGTERM, &drain_action, nullptr);
+  sigaction(SIGINT, &drain_action, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
 
   Result<Dataset> dataset = LoadDataset(dataset_path);
   if (!dataset.ok()) return Fail(dataset.status());
@@ -88,6 +164,7 @@ int Main(int argc, char** argv) {
   serve::ServeMetrics metrics;
   serve::MicroBatcher::Options batcher_options;
   batcher_options.max_batch_nodes = flags.GetInt("max_batch_nodes", 4096);
+  batcher_options.max_queue_depth = flags.GetInt("max_queue_depth", 4096);
   serve::MicroBatcher batcher(&*session, &metrics, batcher_options);
   const int64_t batch_lines = std::max<int64_t>(1, flags.GetInt("batch_lines", 1));
 
@@ -100,12 +177,18 @@ int Main(int argc, char** argv) {
     bool has_ticket = false;
     serve::MicroBatcher::Ticket ticket;
   };
+  StdinLineReader reader;
   std::string line;
   bool at_eof = false;
   while (!at_eof) {
     std::vector<Slot> slots;
     while (static_cast<int64_t>(slots.size()) < batch_lines) {
-      if (!std::getline(std::cin, line)) {
+      if (g_shutdown_signal != 0) {
+        at_eof = true;
+        break;
+      }
+      const StdinLineReader::ReadResult read = reader.Next(&line);
+      if (read != StdinLineReader::ReadResult::kLine) {
         at_eof = true;
         break;
       }
@@ -118,7 +201,8 @@ int Main(int argc, char** argv) {
       } else {
         slot.id = request->id;
         slot.has_ticket = true;
-        slot.ticket = batcher.Submit(std::move(request->nodes));
+        slot.ticket =
+            batcher.Submit(std::move(request->nodes), request->deadline_ms);
       }
       slots.push_back(std::move(slot));
     }
@@ -129,10 +213,15 @@ int Main(int argc, char** argv) {
         reply = std::move(slot.error_reply);
       } else {
         Result<std::vector<int64_t>> classes = slot.ticket.Wait();
-        reply = classes.ok()
-                    ? serve::FormatClassesReply(slot.id, *classes)
-                    : serve::FormatErrorReply(slot.id,
-                                              classes.status().message());
+        if (classes.ok()) {
+          reply = serve::FormatClassesReply(slot.id, *classes);
+        } else if (classes.status().code() == StatusCode::kUnavailable) {
+          reply = serve::FormatOverloadedReply(slot.id,
+                                               classes.status().message());
+        } else {
+          reply =
+              serve::FormatErrorReply(slot.id, classes.status().message());
+        }
       }
       std::fputs(reply.c_str(), stdout);
       std::fputc('\n', stdout);
@@ -140,6 +229,12 @@ int Main(int argc, char** argv) {
     std::fflush(stdout);
   }
   batcher.Shutdown();
+  if (g_shutdown_signal != 0) {
+    std::fprintf(stderr,
+                 "draining: received signal %d; in-flight requests "
+                 "answered, exiting cleanly\n",
+                 static_cast<int>(g_shutdown_signal));
+  }
 
   const double elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -149,7 +244,8 @@ int Main(int argc, char** argv) {
   std::fprintf(stderr,
                "served %llu requests (%llu errors, %llu nodes) in %llu "
                "batches; mean batch %.2f req; latency ms p50 %.3f p99 %.3f "
-               "mean %.3f; %.1f req/s; max queue depth %lld\n",
+               "mean %.3f; %.1f req/s; max queue depth %lld; rejected %llu; "
+               "shed %llu\n",
                static_cast<unsigned long long>(snapshot.requests),
                static_cast<unsigned long long>(snapshot.errors),
                static_cast<unsigned long long>(snapshot.nodes),
@@ -159,7 +255,9 @@ int Main(int argc, char** argv) {
                elapsed_s > 0.0 ? static_cast<double>(snapshot.requests) /
                                      elapsed_s
                                : 0.0,
-               static_cast<long long>(snapshot.max_queue_depth));
+               static_cast<long long>(snapshot.max_queue_depth),
+               static_cast<unsigned long long>(snapshot.rejected),
+               static_cast<unsigned long long>(snapshot.shed));
   return 0;
 }
 

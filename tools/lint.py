@@ -35,6 +35,11 @@ Rules (ids used by the `// lint:allow(<rule>)` escape hatch):
                            result-affecting paths (src/models, src/train);
                            hash iteration order is implementation-defined and
                            breaks run-to-run reproducibility.
+  no-bare-exit             exit()/abort()/_exit()/quick_exit() in src/
+                           outside the failpoint and logging machinery;
+                           library code reports failure as a Status (or an
+                           ADPA_CHECK with a message) so callers — and the
+                           crash-recovery tests — decide process fate.
   pragma-once              every header in src/, tests/, bench/, tools/ must
                            use #pragma once.
   gradcheck-registry       every Variable-returning op declared in
@@ -180,6 +185,21 @@ RULES = [
             r"\bFILE\s*\*",
         ],
         scopes=("src/io/", "src/serve/"),
+    ),
+    Rule(
+        "no-bare-exit",
+        "bare process-exit call in library code; return a Status (or use "
+        "ADPA_CHECK for invariant violations) so the caller decides process "
+        "fate — only the failpoint crash action and the CHECK machinery may "
+        "terminate",
+        [r"(?<![\w.])(?:std::|::)?(_exit|_Exit|quick_exit|abort|exit)\s*\("],
+        scopes=CXX_SOURCE_SCOPES,
+        exempt=(
+            "src/core/failpoint.h",
+            "src/core/failpoint.cc",
+            "src/core/logging.h",
+            "src/core/logging.cc",
+        ),
     ),
     Rule(
         "no-unordered-iteration",
