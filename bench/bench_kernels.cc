@@ -12,6 +12,7 @@
 #include "src/graph/patterns.h"
 #include "src/models/adpa.h"
 #include "src/tensor/optimizer.h"
+#include "src/tensor/simd.h"
 #include "src/train/trainer.h"
 
 namespace adpa {
@@ -119,6 +120,89 @@ BENCHMARK(BM_MatMulBlocked512)
     ->Arg(4)
     ->Arg(8);
 
+/// Restores the startup dispatch level on destruction so a pinned-level
+/// benchmark cannot leak its level into the rest of the suite.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(simd::Level level) : previous_(simd::ActiveLevel()) {
+    simd::SetLevel(level);
+  }
+  ~ScopedLevel() { simd::SetLevel(previous_); }
+
+ private:
+  simd::Level previous_;
+};
+
+// Single-thread 512^3 GEMM pinned to each dispatch level. level:0 (portable)
+// IS the historical blocked kernel, so the level:2/level:0 items_per_second
+// ratio is the headline speedup tracked in BENCH_kernels.json.
+void BM_MatMulDispatch512(benchmark::State& state) {
+  const simd::Level level = static_cast<simd::Level>(state.range(0));
+  if (!simd::LevelSupported(level)) {
+    state.SkipWithError("dispatch level not supported by this CPU");
+    return;
+  }
+  ScopedLevel scoped(level);
+  state.SetLabel(simd::LevelName(level));
+  SetNumThreads(1);
+  Rng rng(2);
+  Matrix a = Matrix::RandomNormal(512, 512, &rng);
+  Matrix b = Matrix::RandomNormal(512, 512, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 512 * 512);
+  SetNumThreads(0);
+}
+BENCHMARK(BM_MatMulDispatch512)->ArgNames({"level"})->Arg(0)->Arg(1)->Arg(2);
+
+// The per-hop propagation chain out = (1-alpha) * (A_hat * x) + alpha * x,
+// fused into one pass (SparseMatrix::MultiplyAxpbyInto) vs. the unfused
+// Multiply + ScaleInPlace + AddScaledInPlace sequence it replaces. Both run
+// at the startup dispatch level.
+void BM_HopChainUnfused(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t f = state.range(1);
+  SetNumThreads(static_cast<int>(state.range(2)));
+  Dataset ds = MakeGraph(n, 8.0, f);
+  const SparseMatrix op =
+      NormalizeSymmetric(AddSelfLoops(ds.graph.AdjacencyMatrix()));
+  const float alpha = 0.15f;
+  for (auto _ : state) {
+    Matrix out = op.Multiply(ds.features);
+    out.ScaleInPlace(1.0f - alpha);
+    out.AddScaledInPlace(ds.features, alpha);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * op.nnz() * f);
+  SetNumThreads(0);
+}
+BENCHMARK(BM_HopChainUnfused)
+    ->ArgNames({"n", "f", "threads"})
+    ->Args({4000, 128, 1})
+    ->Args({4000, 128, 8});
+
+void BM_HopChainFused(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t f = state.range(1);
+  SetNumThreads(static_cast<int>(state.range(2)));
+  Dataset ds = MakeGraph(n, 8.0, f);
+  const SparseMatrix op =
+      NormalizeSymmetric(AddSelfLoops(ds.graph.AdjacencyMatrix()));
+  const float alpha = 0.15f;
+  Matrix out;  // reused across iterations, as in the serve/propagation paths
+  for (auto _ : state) {
+    op.MultiplyAxpbyInto(ds.features, ds.features, alpha, 1.0f - alpha, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * op.nnz() * f);
+  SetNumThreads(0);
+}
+BENCHMARK(BM_HopChainFused)
+    ->ArgNames({"n", "f", "threads"})
+    ->Args({4000, 128, 1})
+    ->Args({4000, 128, 8});
+
 // The decoupled-propagation claim: pre-processing cost grows linearly in
 // the pattern order budget k and the step count K, independent of training.
 void BM_DpPropagation(benchmark::State& state) {
@@ -191,4 +275,21 @@ BENCHMARK(BM_PatternReachability)->Arg(4)->Arg(16);
 }  // namespace
 }  // namespace adpa
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Provenance for tools/bench_to_json.sh: numbers from a debug/sanitizer
+  // build of THIS code must not land in the checked-in BENCH_*.json files.
+  // (The stock "library_build_type" context key only describes how the
+  // installed google-benchmark library was compiled.)
+#ifdef NDEBUG
+  benchmark::AddCustomContext("adpa_build_type", "release");
+#else
+  benchmark::AddCustomContext("adpa_build_type", "debug");
+#endif
+  benchmark::AddCustomContext(
+      "adpa_simd_level", adpa::simd::LevelName(adpa::simd::ActiveLevel()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -25,6 +25,7 @@
 #include "src/serve/batcher.h"
 #include "src/serve/engine.h"
 #include "src/serve/metrics.h"
+#include "src/tensor/simd.h"
 
 namespace adpa {
 namespace {
@@ -116,10 +117,19 @@ int Main(int argc, char** argv) {
       serve::InferenceSession::Create(checkpoint, *dataset);
   ADPA_CHECK(session.ok()) << session.status().ToString();
 
-  std::printf("{\n  \"bench\": \"serve\",\n  \"dataset\": \"%s\",\n"
+  // build_type is the provenance key tools/bench_to_json.sh keys off: a
+  // debug/sanitizer build must not overwrite the checked-in numbers.
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  std::printf("{\n  \"bench\": \"serve\",\n  \"build_type\": \"%s\",\n"
+              "  \"simd_level\": \"%s\",\n  \"dataset\": \"%s\",\n"
               "  \"nodes\": %lld,\n  \"requests\": %d,\n"
               "  \"nodes_per_request\": %d,\n  \"burst\": %d,\n"
               "  \"runs\": [\n",
+              build_type, simd::LevelName(simd::ActiveLevel()),
               dataset->name.c_str(),
               static_cast<long long>(dataset->num_nodes()), requests,
               nodes_per_request, burst);

@@ -82,13 +82,28 @@ class ThreadPool {
       job->chunks.emplace_back(at, at + size);
       at += size;
     }
+    if (job->chunks.size() == 1) {
+      // One chunk: the caller would execute it alone anyway. Skip the
+      // queue/wake round-trip entirely — same bits, no pool overhead.
+      fn(begin, end);
+      return;
+    }
     job->remaining.store(static_cast<int>(job->chunks.size()),
                          std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       jobs_.push_back(job);
     }
-    wake_cv_.notify_all();
+    // The caller takes one chunk itself, so only `chunks - 1` workers can
+    // find work. Waking the whole pool for a 2-3 chunk job is a wake-storm
+    // that measurably drags the serving path (sub-millisecond batch ops) at
+    // high thread counts; wake exactly as many workers as can help.
+    const size_t spare_chunks = job->chunks.size() - 1;
+    if (spare_chunks >= workers_.size()) {
+      wake_cv_.notify_all();
+    } else {
+      for (size_t i = 0; i < spare_chunks; ++i) wake_cv_.notify_one();
+    }
     // The caller participates instead of blocking immediately.
     ExecuteChunks(*job);
     {
@@ -207,6 +222,9 @@ void SetNumThreads(int num_threads) {
 }
 
 bool InParallelRegion() { return tls_region_depth > 0; }
+
+SerialSection::SerialSection() { ++tls_region_depth; }
+SerialSection::~SerialSection() { --tls_region_depth; }
 
 namespace internal {
 

@@ -44,6 +44,39 @@ int DefaultNumThreads();
 /// to run nested parallel regions inline.
 bool InParallelRegion();
 
+/// RAII scope that makes every `ParallelFor` on the calling thread run
+/// inline (exactly as nested parallel regions do). For latency-bound paths
+/// whose individual ops are too small to amortize waking sleeping pool
+/// workers — the batched serving forward pins its sub-millisecond ops this
+/// way so request latency never pays a cold cross-thread hand-off. Results
+/// are unchanged by the thread-count-invariance contract; this is purely a
+/// scheduling decision.
+class SerialSection {
+ public:
+  SerialSection();
+  ~SerialSection();
+  SerialSection(const SerialSection&) = delete;
+  SerialSection& operator=(const SerialSection&) = delete;
+};
+
+/// Minimum useful work per ParallelFor chunk, in approximate scalar
+/// operations (~2M). Below this, the pool hand-off (wake, fetch, join)
+/// costs more than the parallel speedup buys — measured on the serve path,
+/// where fanning out sub-millisecond batch ops *reduced* 8-thread QPS below
+/// 1-thread QPS.
+inline constexpr int64_t kMinCostPerChunk = int64_t{1} << 21;
+
+/// Grain (minimum chunk length) for a loop whose per-index cost is
+/// `cost_per_item` scalar operations: enough indices per chunk to amortize
+/// the pool hand-off. Depends only on the cost estimate — itself a pure
+/// function of operand shapes in every caller — so chunk layout, and with
+/// it the determinism contract, never depends on runtime state.
+inline constexpr int64_t GrainForCost(int64_t cost_per_item) {
+  const int64_t cost = cost_per_item > 0 ? cost_per_item : 1;
+  const int64_t grain = kMinCostPerChunk / cost;
+  return grain > 0 ? grain : 1;
+}
+
 namespace internal {
 
 /// Type-erased backend: splits `[begin, end)` into at most `GetNumThreads()`
@@ -63,7 +96,11 @@ template <typename Fn>
 void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
   if (end <= begin) return;
   const int64_t min_chunk = grain > 0 ? grain : 1;
-  if (InParallelRegion() || end - begin <= min_chunk || GetNumThreads() == 1) {
+  // `< 2 * min_chunk` means the range cannot produce two full grains, so
+  // the pool could only ever run it as a single chunk — execute it inline
+  // instead of paying the job round-trip for zero parallelism.
+  if (InParallelRegion() || end - begin < 2 * min_chunk ||
+      GetNumThreads() == 1) {
     std::forward<Fn>(fn)(begin, end);
     return;
   }

@@ -1,5 +1,7 @@
 #include "src/graph/patterns.h"
 
+#include <utility>
+
 #include "src/core/logging.h"
 #include "src/core/parallel.h"
 
@@ -56,10 +58,16 @@ PatternSet::PatternSet(const SparseMatrix& adjacency, double conv_r,
 }
 
 Matrix PatternSet::ApplyHop(Hop hop, const Matrix& x) const {
+  Matrix out;
+  ApplyHopInto(hop, x, &out);
+  return out;
+}
+
+void PatternSet::ApplyHopInto(Hop hop, const Matrix& x, Matrix* out) const {
   ADPA_CHECK_EQ(x.rows(), num_nodes())
       << "DP operand has " << x.rows() << " rows for a " << num_nodes()
       << "-node pattern set";
-  return hop == Hop::kOut ? a_norm_.Multiply(x) : at_norm_.Multiply(x);
+  (hop == Hop::kOut ? a_norm_ : at_norm_).MultiplyInto(x, out);
 }
 
 Matrix PatternSet::Apply(const DirectedPattern& pattern,
@@ -77,8 +85,17 @@ void PatternSet::ApplyStep(const std::vector<DirectedPattern>& patterns,
   ADPA_CHECK_EQ(patterns.size(), states->size());
   ParallelFor(0, static_cast<int64_t>(patterns.size()), 1,
               [&](int64_t begin, int64_t end) {
+                // Per-thread hop buffer: each hop writes into the scratch,
+                // then swaps it with the state, so a steady-state step
+                // performs zero allocations.
+                thread_local Matrix scratch;
                 for (int64_t g = begin; g < end; ++g) {
-                  (*states)[g] = Apply(patterns[g], (*states)[g]);
+                  Matrix* state = &(*states)[g];
+                  const auto& word = patterns[g].word;
+                  for (auto it = word.rbegin(); it != word.rend(); ++it) {
+                    ApplyHopInto(*it, *state, &scratch);
+                    std::swap(*state, scratch);
+                  }
                 }
               });
 }

@@ -60,11 +60,18 @@ class PatternSet {
   /// One single hop step (used by iterated K-step propagation).
   Matrix ApplyHop(Hop hop, const Matrix& x) const;
 
+  /// ApplyHop writing into a caller-owned buffer (`out` must not alias
+  /// `x`). Bitwise identical to ApplyHop; no allocation once `out` has the
+  /// capacity.
+  void ApplyHopInto(Hop hop, const Matrix& x, Matrix* out) const;
+
   /// Advances every per-pattern propagation state by one pattern
   /// application: (*states)[g] = Apply(patterns[g], (*states)[g]). The k
   /// chains are independent and run in parallel (their inner SpMM calls
   /// then run inline); results are bitwise identical to calling Apply
-  /// sequentially for any thread count.
+  /// sequentially for any thread count. Hops ping-pong between the state
+  /// and a per-thread scratch buffer, so steady-state steps allocate
+  /// nothing.
   void ApplyStep(const std::vector<DirectedPattern>& patterns,
                  std::vector<Matrix>* states) const;
 

@@ -6,6 +6,7 @@
 
 #include "src/core/logging.h"
 #include "src/core/parallel.h"
+#include "src/tensor/simd.h"
 
 namespace adpa {
 
@@ -141,25 +142,71 @@ float SparseMatrix::At(int64_t r, int64_t c) const {
   return values_[it - col_idx_.begin()];
 }
 
-Matrix SparseMatrix::Multiply(const Matrix& dense) const {
+namespace {
+
+// Grain for row-partitioned SpMM kernels: ~2 * avg_row_nnz * f scalar ops
+// per row. Depends only on the operand shapes, so the chunk layout — and
+// with it the determinism contract — is a pure function of the problem.
+int64_t SpmmRowGrain(int64_t rows, int64_t nnz, int64_t f) {
+  const int64_t avg_nnz = rows > 0 ? std::max<int64_t>(1, nnz / rows) : 1;
+  return GrainForCost(2 * avg_nnz * f);
+}
+
+}  // namespace
+
+void SparseMatrix::MultiplyInto(const Matrix& dense, Matrix* out) const {
   ADPA_CHECK_EQ(cols_, dense.rows());
+  ADPA_CHECK(out != &dense);
   DebugCheckInvariants();
-  Matrix out(rows_, dense.cols());
+  out->Resize(rows_, dense.cols());
   const int64_t f = dense.cols();
+  if (rows_ == 0 || f == 0) return;
+  const simd::KernelTable& kernels = simd::Kernels();
+  const int64_t* row_ptr = row_ptr_.data();
+  const int32_t* col_idx = col_idx_.data();
+  const float* values = values_.data();
+  const float* in = dense.data();
+  float* out_data = out->data();
   // Each output row depends only on its own CSR row, so partitioning rows
   // over threads keeps the per-row accumulation order (and every bit of
   // the result) identical to the serial kernel.
-  ParallelFor(0, rows_, 32, [&](int64_t row_begin, int64_t row_end) {
-    for (int64_t r = row_begin; r < row_end; ++r) {
-      float* out_row = out.Row(r);
-      for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-        const float w = values_[p];
-        const float* in_row = dense.Row(col_idx_[p]);
-        for (int64_t c = 0; c < f; ++c) out_row[c] += w * in_row[c];
-      }
-    }
-  });
+  ParallelFor(0, rows_, SpmmRowGrain(rows_, nnz(), f),
+              [&](int64_t row_begin, int64_t row_end) {
+                kernels.spmm_rows(row_ptr, col_idx, values, in, f, row_begin,
+                                  row_end, out_data);
+              });
+}
+
+Matrix SparseMatrix::Multiply(const Matrix& dense) const {
+  Matrix out;
+  MultiplyInto(dense, &out);
   return out;
+}
+
+void SparseMatrix::MultiplyAxpbyInto(const Matrix& dense,
+                                     const Matrix& residual, float alpha,
+                                     float beta, Matrix* out) const {
+  ADPA_CHECK_EQ(cols_, dense.rows());
+  ADPA_CHECK_EQ(residual.rows(), rows_);
+  ADPA_CHECK_EQ(residual.cols(), dense.cols());
+  ADPA_CHECK(out != &dense && out != &residual);
+  DebugCheckInvariants();
+  out->Resize(rows_, dense.cols());
+  const int64_t f = dense.cols();
+  if (rows_ == 0 || f == 0) return;
+  const simd::KernelTable& kernels = simd::Kernels();
+  const int64_t* row_ptr = row_ptr_.data();
+  const int32_t* col_idx = col_idx_.data();
+  const float* values = values_.data();
+  const float* in = dense.data();
+  const float* res = residual.data();
+  float* out_data = out->data();
+  ParallelFor(0, rows_, SpmmRowGrain(rows_, nnz(), f),
+              [&](int64_t row_begin, int64_t row_end) {
+                kernels.spmm_axpby_rows(row_ptr, col_idx, values, in, res,
+                                        alpha, beta, f, row_begin, row_end,
+                                        out_data);
+              });
 }
 
 Matrix SparseMatrix::MultiplyTransposed(const Matrix& dense) const {
@@ -174,7 +221,9 @@ Matrix SparseMatrix::MultiplyTransposed(const Matrix& dense) const {
   // output range. Input rows are visited in increasing r exactly like the
   // serial scatter, so per-element accumulation order — and the result —
   // is bitwise identical for any thread count.
-  ParallelFor(0, cols_, 64, [&](int64_t out_begin, int64_t out_end) {
+  const simd::KernelTable& kernels = simd::Kernels();
+  ParallelFor(0, cols_, SpmmRowGrain(cols_, nnz(), f),
+              [&](int64_t out_begin, int64_t out_end) {
     for (int64_t r = 0; r < rows_; ++r) {
       const float* in_row = dense.Row(r);
       const auto row_begin = col_idx_.begin() + row_ptr_[r];
@@ -183,8 +232,7 @@ Matrix SparseMatrix::MultiplyTransposed(const Matrix& dense) const {
                                           static_cast<int32_t>(out_begin));
       for (auto it = first; it != row_end && *it < out_end; ++it) {
         const float w = values_[it - col_idx_.begin()];
-        float* out_row = out.Row(*it);
-        for (int64_t c = 0; c < f; ++c) out_row[c] += w * in_row[c];
+        kernels.axpy(out.Row(*it), in_row, w, f);
       }
     }
   });

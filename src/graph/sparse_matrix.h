@@ -78,6 +78,21 @@ class SparseMatrix {
   /// out = this * dense. The workhorse SpMM kernel (CSR x dense).
   Matrix Multiply(const Matrix& dense) const;
 
+  /// Multiply writing into a caller-owned buffer (resized to rows() x
+  /// dense.cols(); no allocation once `out` has the capacity). `out` must
+  /// not alias `dense`. Bitwise identical to Multiply.
+  void MultiplyInto(const Matrix& dense, Matrix* out) const;
+
+  /// Fused per-hop propagation chain (DESIGN.md §12):
+  ///   out = beta * (this * dense) + alpha * residual
+  /// in one pass over the output — the SpMM, the scale, and the residual
+  /// add of the unfused Multiply + ScaleInPlace + AddScaledInPlace sequence
+  /// without materializing the intermediate product. Bitwise identical to
+  /// that unfused sequence at every dispatch level. `residual` may alias
+  /// `dense`; `out` must alias neither.
+  void MultiplyAxpbyInto(const Matrix& dense, const Matrix& residual,
+                         float alpha, float beta, Matrix* out) const;
+
   /// out = thisᵀ * dense, computed by scatter without materializing thisᵀ.
   Matrix MultiplyTransposed(const Matrix& dense) const;
 

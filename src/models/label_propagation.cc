@@ -1,5 +1,7 @@
 #include "src/models/label_propagation.h"
 
+#include <utility>
+
 #include "src/core/logging.h"
 #include "src/graph/sparse_matrix.h"
 #include "src/train/trainer.h"
@@ -19,17 +21,19 @@ LabelPropagationResult PropagateLabels(const Dataset& dataset, int steps,
   const SparseMatrix op =
       NormalizeSymmetric(AddSelfLoops(dataset.graph.AdjacencyMatrix()));
   Matrix scores = seed;
+  Matrix propagated;  // double-buffered across steps; two allocations total
   for (int step = 0; step < steps; ++step) {
-    Matrix propagated = op.Multiply(scores);
-    propagated.ScaleInPlace(1.0f - alpha);
-    propagated.AddScaledInPlace(seed, alpha);
+    // Fused single pass: propagated = (1-alpha) * op*scores + alpha * seed
+    // (bitwise identical to the unfused Multiply/ScaleInPlace/
+    // AddScaledInPlace sequence).
+    op.MultiplyAxpbyInto(scores, seed, alpha, 1.0f - alpha, &propagated);
     // Clamp training rows to their known labels.
     for (int64_t i : dataset.train_idx) {
       float* row = propagated.Row(i);
       for (int64_t k = 0; k < c; ++k) row[k] = 0.0f;
       row[dataset.labels[i]] = 1.0f;
     }
-    scores = std::move(propagated);
+    std::swap(scores, propagated);
   }
 
   LabelPropagationResult result;

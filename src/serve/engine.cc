@@ -7,6 +7,7 @@
 
 #include "src/core/failpoint.h"
 #include "src/core/logging.h"
+#include "src/core/parallel.h"
 
 namespace adpa::serve {
 namespace {
@@ -45,10 +46,28 @@ struct TensorCursor {
   }
 };
 
-Matrix LinearForward(const Matrix& x, const Matrix& weight,
-                     const Matrix& bias) {
-  // Same kernels as nn::Linear::Forward: ag::MatMul then ag::AddBias.
-  return AddRowBroadcast(MatMul(x, weight), bias);
+Matrix* LinearForward(const Matrix& x, const Matrix& weight,
+                      const Matrix& bias, Workspace* ws) {
+  // Same kernels as nn::Linear::Forward: ag::MatMul then ag::AddBias,
+  // writing into a workspace slot instead of a fresh Matrix.
+  Matrix* out = ws->Acquire(x.rows(), weight.cols());
+  MatMulInto(x, weight, out);
+  AddRowBroadcastInPlace(out, bias);
+  return out;
+}
+
+/// Per-thread forward scratch. The micro-batcher pumps batches on the
+/// submitting thread, so each serving thread owns one workspace plus the
+/// reusable view vectors, and steady-state forwards never allocate.
+struct ForwardScratch {
+  Workspace ws;
+  std::vector<std::vector<const Matrix*>> block_views;
+  Matrix dp_rows;
+};
+
+ForwardScratch& Scratch() {
+  thread_local ForwardScratch scratch;
+  return scratch;
 }
 
 bool BlocksShapedLike(const std::vector<std::vector<Matrix>>& blocks,
@@ -245,111 +264,154 @@ Result<InferenceSession> InferenceSession::Create(
   return session;
 }
 
-Matrix InferenceSession::MlpForward(const std::vector<LinearParams>& layers,
-                                    const Matrix& input) const {
+Matrix* InferenceSession::MlpForward(const std::vector<LinearParams>& layers,
+                                     const Matrix& input, Workspace* ws) const {
   // nn::Mlp::Forward in eval mode: activation between layers, dropout is
   // the identity, no activation after the last layer.
-  Matrix h = LinearForward(input, layers[0].weight, layers[0].bias);
+  Matrix* h = LinearForward(input, layers[0].weight, layers[0].bias, ws);
   for (size_t i = 1; i < layers.size(); ++i) {
-    ReluInPlace(&h);
-    h = LinearForward(h, layers[i].weight, layers[i].bias);
+    ReluInPlace(h);
+    h = LinearForward(*h, layers[i].weight, layers[i].bias, ws);
   }
   return h;
 }
 
-Matrix InferenceSession::FuseStep(const std::vector<Matrix>& blocks,
-                                  const Matrix& dp_rows) const {
+Matrix* InferenceSession::FuseStep(const std::vector<const Matrix*>& blocks,
+                                   const Matrix& dp_rows,
+                                   Workspace* ws) const {
   const int64_t num_blocks = static_cast<int64_t>(blocks.size());
+  const int64_t rows = blocks[0]->rows();
+  const int64_t cols = blocks[0]->cols();
+  Matrix* concat = ws->Acquire(rows, num_blocks * cols);
   if (!config_.use_dp_attention) {
-    Matrix mean = blocks[0];
-    for (int64_t g = 1; g < num_blocks; ++g) mean = Add(mean, blocks[g]);
-    mean = Scale(mean, 1.0f / static_cast<float>(num_blocks));
-    std::vector<Matrix> replicated(num_blocks, mean);
-    Matrix fused = MlpForward(dp_fuse_, ConcatCols(replicated));
-    ReluInPlace(&fused);
+    Matrix* mean = ws->Acquire(rows, cols);
+    *mean = *blocks[0];
+    for (int64_t g = 1; g < num_blocks; ++g) mean->AddInPlace(*blocks[g]);
+    mean->ScaleInPlace(1.0f / static_cast<float>(num_blocks));
+    const std::vector<const Matrix*> replicated(num_blocks, mean);
+    ConcatColsInto(replicated, concat);
+    Matrix* fused = MlpForward(dp_fuse_, *concat, ws);
+    ReluInPlace(fused);
     return fused;
   }
   switch (config_.dp_attention) {
     case DpAttention::kOriginal: {
-      Matrix weights = SoftmaxRows(dp_rows);
-      std::vector<Matrix> scaled;
+      Matrix* weights = ws->Acquire(dp_rows.rows(), dp_rows.cols());
+      SoftmaxRowsInto(dp_rows, weights);
+      Matrix* column = ws->Acquire(rows, 1);
+      std::vector<const Matrix*> scaled;
       scaled.reserve(num_blocks);
       for (int64_t g = 0; g < num_blocks; ++g) {
-        scaled.push_back(ScaleRows(blocks[g], SliceCols(weights, g, g + 1)));
+        SliceColsInto(*weights, g, g + 1, column);
+        Matrix* scaled_g = ws->Acquire(rows, cols);
+        ScaleRowsInto(*blocks[g], *column, scaled_g);
+        scaled.push_back(scaled_g);
       }
-      Matrix fused = MlpForward(dp_fuse_, ConcatCols(scaled));
-      ReluInPlace(&fused);
+      ConcatColsInto(scaled, concat);
+      Matrix* fused = MlpForward(dp_fuse_, *concat, ws);
+      ReluInPlace(fused);
       return fused;
     }
     case DpAttention::kGate: {
-      std::vector<Matrix> scaled;
+      std::vector<const Matrix*> scaled;
       scaled.reserve(num_blocks);
       for (int64_t g = 0; g < num_blocks; ++g) {
-        Matrix gate = LinearForward(blocks[g], gate_layers_[g].weight,
-                                    gate_layers_[g].bias);
-        SigmoidInPlace(&gate);
-        scaled.push_back(ScaleRows(blocks[g], gate));
+        Matrix* gate = LinearForward(*blocks[g], gate_layers_[g].weight,
+                                     gate_layers_[g].bias, ws);
+        SigmoidInPlace(gate);
+        Matrix* scaled_g = ws->Acquire(rows, cols);
+        ScaleRowsInto(*blocks[g], *gate, scaled_g);
+        scaled.push_back(scaled_g);
       }
-      Matrix fused = MlpForward(dp_fuse_, ConcatCols(scaled));
-      ReluInPlace(&fused);
+      ConcatColsInto(scaled, concat);
+      Matrix* fused = MlpForward(dp_fuse_, *concat, ws);
+      ReluInPlace(fused);
       return fused;
     }
     case DpAttention::kRecursive: {
-      Matrix acc = blocks[0];
+      Matrix* acc = ws->Acquire(rows, cols);
+      *acc = *blocks[0];
+      Matrix* pair = ws->Acquire(rows, 2 * cols);
+      Matrix* scaled = ws->Acquire(rows, cols);
       for (int64_t g = 1; g < num_blocks; ++g) {
-        Matrix score =
-            LinearForward(ConcatCols(blocks[g], acc),
-                          recursive_layers_[g].weight,
-                          recursive_layers_[g].bias);
-        SigmoidInPlace(&score);
-        acc = Add(acc, ScaleRows(blocks[g], score));
+        ConcatColsInto({blocks[g], acc}, pair);
+        Matrix* score = LinearForward(*pair, recursive_layers_[g].weight,
+                                      recursive_layers_[g].bias, ws);
+        SigmoidInPlace(score);
+        ScaleRowsInto(*blocks[g], *score, scaled);
+        acc->AddInPlace(*scaled);
       }
-      Matrix fused = LinearForward(acc, jk_fuse_.weight, jk_fuse_.bias);
-      ReluInPlace(&fused);
+      Matrix* fused = LinearForward(*acc, jk_fuse_.weight, jk_fuse_.bias, ws);
+      ReluInPlace(fused);
       return fused;
     }
     case DpAttention::kJk: {
-      Matrix fused =
-          LinearForward(ConcatCols(blocks), jk_fuse_.weight, jk_fuse_.bias);
-      ReluInPlace(&fused);
+      ConcatColsInto(blocks, concat);
+      Matrix* fused =
+          LinearForward(*concat, jk_fuse_.weight, jk_fuse_.bias, ws);
+      ReluInPlace(fused);
       return fused;
     }
   }
   ADPA_CHECK(false) << "unreachable";
-  return blocks[0];
+  return concat;
 }
 
 Matrix InferenceSession::ForwardBlocks(
-    const std::vector<std::vector<Matrix>>& blocks,
-    const Matrix& dp_rows) const {
-  std::vector<Matrix> fused;
+    const std::vector<std::vector<const Matrix*>>& blocks,
+    const Matrix& dp_rows, Workspace* ws) const {
+  std::vector<const Matrix*> fused;
   fused.reserve(blocks.size());
   for (const auto& step_blocks : blocks) {
-    fused.push_back(FuseStep(step_blocks, dp_rows));
+    fused.push_back(FuseStep(step_blocks, dp_rows, ws));
   }
 
-  Matrix combined;
+  Matrix* combined = nullptr;
   if (config_.use_hop_attention && steps_ > 1) {
-    Matrix scores = SoftmaxRows(
-        LinearForward(ConcatCols(fused), hop_scorer_.weight,
-                      hop_scorer_.bias));
+    Matrix* hop_concat =
+        ws->Acquire(fused[0]->rows(), steps_ * fused[0]->cols());
+    ConcatColsInto(fused, hop_concat);
+    Matrix* scores = LinearForward(*hop_concat, hop_scorer_.weight,
+                                   hop_scorer_.bias, ws);
+    Matrix* weights = ws->Acquire(scores->rows(), scores->cols());
+    SoftmaxRowsInto(*scores, weights);
+    Matrix* column = ws->Acquire(fused[0]->rows(), 1);
+    combined = ws->Acquire(fused[0]->rows(), fused[0]->cols());
+    Matrix* weighted = ws->Acquire(fused[0]->rows(), fused[0]->cols());
     for (int l = 0; l < steps_; ++l) {
-      Matrix weighted = ScaleRows(fused[l], SliceCols(scores, l, l + 1));
-      combined = l == 0 ? std::move(weighted) : Add(combined, weighted);
+      SliceColsInto(*weights, l, l + 1, column);
+      if (l == 0) {
+        ScaleRowsInto(*fused[l], *column, combined);
+      } else {
+        ScaleRowsInto(*fused[l], *column, weighted);
+        combined->AddInPlace(*weighted);
+      }
     }
   } else {
-    combined = fused[0];
-    for (int l = 1; l < steps_; ++l) combined = Add(combined, fused[l]);
+    combined = ws->Acquire(fused[0]->rows(), fused[0]->cols());
+    *combined = *fused[0];
+    for (int l = 1; l < steps_; ++l) combined->AddInPlace(*fused[l]);
     if (steps_ > 1) {
-      combined = Scale(combined, 1.0f / static_cast<float>(steps_));
+      combined->ScaleInPlace(1.0f / static_cast<float>(steps_));
     }
   }
-  // Training applies Dropout here; in eval mode it is the identity.
-  return MlpForward(classifier_, combined);
+  // Training applies Dropout here; in eval mode it is the identity. The
+  // returned logits are copied out of the workspace so the caller owns them
+  // past the next Reset (batch x classes — the one small copy per forward).
+  return *MlpForward(classifier_, *combined, ws);
 }
 
 Matrix InferenceSession::ForwardAll() const {
-  return ForwardBlocks(blocks_, dp_weights_);
+  ForwardScratch& scratch = Scratch();
+  scratch.ws.Reset();
+  scratch.block_views.resize(blocks_.size());
+  for (size_t l = 0; l < blocks_.size(); ++l) {
+    scratch.block_views[l].clear();
+    for (const Matrix& block : blocks_[l]) {
+      scratch.block_views[l].push_back(&block);
+    }
+  }
+  return ForwardBlocks(scratch.block_views, dp_weights_, &scratch.ws);
 }
 
 Result<Matrix> InferenceSession::ForwardRows(
@@ -364,17 +426,30 @@ Result<Matrix> InferenceSession::ForwardRows(
                                 std::to_string(num_nodes_) + ")");
     }
   }
-  std::vector<std::vector<Matrix>> gathered(blocks_.size());
+  // Batched serving is latency-bound and its ops are sub-millisecond:
+  // fanning them out pays a cold worker wake-up per op, which measurably
+  // costs more than the parallel speedup buys (BENCH_serve.json's 8-thread
+  // QPS sat *below* 1-thread before this pin). Run the whole request
+  // inline; results are identical by the thread-count-invariance contract.
+  SerialSection serial;
+  ForwardScratch& scratch = Scratch();
+  scratch.ws.Reset();
+  scratch.block_views.resize(blocks_.size());
   for (size_t l = 0; l < blocks_.size(); ++l) {
-    gathered[l].reserve(blocks_[l].size());
+    scratch.block_views[l].clear();
     for (const Matrix& block : blocks_[l]) {
-      gathered[l].push_back(GatherRows(block, nodes));
+      Matrix* gathered = scratch.ws.Acquire(
+          static_cast<int64_t>(nodes.size()), block.cols());
+      GatherRowsInto(block, nodes, gathered);
+      scratch.block_views[l].push_back(gathered);
     }
   }
-  const Matrix dp_rows = dp_weights_.empty()
-                             ? Matrix()
-                             : GatherRows(dp_weights_, nodes);
-  return ForwardBlocks(gathered, dp_rows);
+  if (dp_weights_.empty()) {
+    scratch.dp_rows.Resize(0, 0);
+  } else {
+    GatherRowsInto(dp_weights_, nodes, &scratch.dp_rows);
+  }
+  return ForwardBlocks(scratch.block_views, scratch.dp_rows, &scratch.ws);
 }
 
 Result<std::vector<int64_t>> InferenceSession::Classify(

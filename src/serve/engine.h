@@ -7,6 +7,7 @@
 #include "src/data/dataset.h"
 #include "src/io/checkpoint.h"
 #include "src/tensor/matrix.h"
+#include "src/tensor/workspace.h"
 
 namespace adpa::serve {
 
@@ -76,14 +77,17 @@ class InferenceSession {
     Matrix bias;    // 1 x out
   };
 
-  /// Shared eval forward over explicit block matrices; `dp_rows` is the
+  /// Shared eval forward over borrowed block matrices; `dp_rows` is the
   /// per-node dp_weights slice for kOriginal (empty row set otherwise).
-  Matrix ForwardBlocks(const std::vector<std::vector<Matrix>>& blocks,
-                       const Matrix& dp_rows) const;
-  Matrix FuseStep(const std::vector<Matrix>& blocks,
-                  const Matrix& dp_rows) const;
-  Matrix MlpForward(const std::vector<LinearParams>& layers,
-                    const Matrix& input) const;
+  /// Every intermediate lives in `ws` (the caller's per-thread workspace),
+  /// so steady-state forwards perform zero heap allocations; helpers return
+  /// pointers to workspace slots, valid until the workspace is Reset.
+  Matrix ForwardBlocks(const std::vector<std::vector<const Matrix*>>& blocks,
+                       const Matrix& dp_rows, Workspace* ws) const;
+  Matrix* FuseStep(const std::vector<const Matrix*>& blocks,
+                   const Matrix& dp_rows, Workspace* ws) const;
+  Matrix* MlpForward(const std::vector<LinearParams>& layers,
+                     const Matrix& input, Workspace* ws) const;
 
   ModelConfig config_;
   int steps_ = 0;

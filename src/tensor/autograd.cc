@@ -6,6 +6,7 @@
 
 #include "src/core/logging.h"
 #include "src/core/random.h"
+#include "src/tensor/simd.h"
 
 namespace adpa {
 namespace ag {
@@ -155,11 +156,14 @@ Variable AddBias(const Variable& a, const Variable& bias) {
                          [pa, pbias](const Matrix& g) {
                            if (pa->requires_grad) pa->AccumulateGrad(g);
                            if (pbias->requires_grad) {
+                             // Row-major float accumulation, same order as
+                             // the historical scalar loop bit for bit.
                              Matrix col_sums(1, g.cols());
+                             const simd::KernelTable& kernels =
+                                 simd::Kernels();
                              for (int64_t r = 0; r < g.rows(); ++r) {
-                               for (int64_t c = 0; c < g.cols(); ++c) {
-                                 col_sums.At(0, c) += g.At(r, c);
-                               }
+                               kernels.add(col_sums.Row(0), g.Row(r),
+                                           g.cols());
                              }
                              pbias->AccumulateGrad(col_sums);
                            }
@@ -300,9 +304,10 @@ Variable ConcatCols(const std::vector<Variable>& parts) {
           const auto& parent = captured_parents[i];
           if (!parent->requires_grad) continue;
           Matrix slice(g.rows(), offsets[i + 1] - offsets[i]);
+          const simd::KernelTable& kernels = simd::Kernels();
           for (int64_t r = 0; r < g.rows(); ++r) {
-            std::copy(g.Row(r) + offsets[i], g.Row(r) + offsets[i + 1],
-                      slice.Row(r));
+            kernels.copy(slice.Row(r), g.Row(r) + offsets[i],
+                         offsets[i + 1] - offsets[i]);
           }
           parent->AccumulateGrad(slice);
         }
@@ -321,9 +326,9 @@ Variable SliceCols(const Variable& a, int64_t begin, int64_t end) {
              [pa, begin, end](const Matrix& g) {
         if (!pa->requires_grad) return;
         Matrix expanded(pa->value.rows(), pa->value.cols());
+        const simd::KernelTable& kernels = simd::Kernels();
         for (int64_t r = 0; r < g.rows(); ++r) {
-          std::copy(g.Row(r), g.Row(r) + (end - begin),
-                    expanded.Row(r) + begin);
+          kernels.copy(expanded.Row(r) + begin, g.Row(r), end - begin);
         }
         pa->AccumulateGrad(expanded);
       }));
@@ -339,10 +344,9 @@ Variable ScaleRows(const Variable& a, const Variable& scales) {
                          {pa, ps}, [pa, ps](const Matrix& g) {
     if (pa->requires_grad) {
       Matrix da = g;
+      const simd::KernelTable& kernels = simd::Kernels();
       for (int64_t r = 0; r < da.rows(); ++r) {
-        const float s = ps->value.At(r, 0);
-        float* row = da.Row(r);
-        for (int64_t c = 0; c < da.cols(); ++c) row[c] *= s;
+        kernels.scale(da.Row(r), ps->value.At(r, 0), da.cols());
       }
       pa->AccumulateGrad(da);
     }

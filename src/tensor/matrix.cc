@@ -6,6 +6,7 @@
 
 #include "src/core/logging.h"
 #include "src/core/random.h"
+#include "src/tensor/simd.h"
 
 namespace adpa {
 
@@ -80,12 +81,23 @@ void Matrix::Fill(float value) {
   });
 }
 
+void Matrix::Resize(int64_t rows, int64_t cols) {
+  ADPA_CHECK_GE(rows, 0);
+  ADPA_CHECK_GE(cols, 0);
+  rows_ = rows;
+  cols_ = cols;
+  // assign() reuses existing capacity; growth beyond the high-water mark is
+  // the only case that allocates.
+  data_.assign(static_cast<size_t>(rows * cols), 0.0f);
+}
+
 void Matrix::AddInPlace(const Matrix& other) {
   ADPA_CHECK(SameShape(other));
   float* dst = data_.data();
   const float* src = other.data_.data();
+  const simd::KernelTable& kernels = simd::Kernels();
   ParallelFor(0, size(), kElementwiseGrain, [&](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) dst[i] += src[i];
+    kernels.add(dst + begin, src + begin, end - begin);
   });
 }
 
@@ -93,8 +105,9 @@ void Matrix::SubInPlace(const Matrix& other) {
   ADPA_CHECK(SameShape(other));
   float* dst = data_.data();
   const float* src = other.data_.data();
+  const simd::KernelTable& kernels = simd::Kernels();
   ParallelFor(0, size(), kElementwiseGrain, [&](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) dst[i] -= src[i];
+    kernels.sub(dst + begin, src + begin, end - begin);
   });
 }
 
@@ -102,15 +115,17 @@ void Matrix::MulInPlace(const Matrix& other) {
   ADPA_CHECK(SameShape(other));
   float* dst = data_.data();
   const float* src = other.data_.data();
+  const simd::KernelTable& kernels = simd::Kernels();
   ParallelFor(0, size(), kElementwiseGrain, [&](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) dst[i] *= src[i];
+    kernels.mul(dst + begin, src + begin, end - begin);
   });
 }
 
 void Matrix::ScaleInPlace(float factor) {
   float* values = data_.data();
+  const simd::KernelTable& kernels = simd::Kernels();
   ParallelFor(0, size(), kElementwiseGrain, [&](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) values[i] *= factor;
+    kernels.scale(values + begin, factor, end - begin);
   });
 }
 
@@ -118,8 +133,9 @@ void Matrix::AddScaledInPlace(const Matrix& other, float factor) {
   ADPA_CHECK(SameShape(other));
   float* dst = data_.data();
   const float* src = other.data_.data();
+  const simd::KernelTable& kernels = simd::Kernels();
   ParallelFor(0, size(), kElementwiseGrain, [&](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) dst[i] += factor * src[i];
+    kernels.axpy(dst + begin, src + begin, factor, end - begin);
   });
 }
 
@@ -185,106 +201,52 @@ std::string Matrix::ToString(int max_rows, int max_cols) const {
 
 namespace {
 
-// Register tile of the blocked GEMM micro-kernel: kGemmMr output rows by
-// kGemmNr output columns of double accumulators (4x32 doubles = 1 KiB,
-// within the AVX register budget after spilling the hot lanes).
-constexpr int64_t kGemmMr = 4;
-constexpr int64_t kGemmNr = 32;
+// Per-thread widening scratch: MatMul converts `a` to double here once per
+// call, and steady-state calls of the same shape never allocate.
+std::vector<double>& WidenScratch() {
+  thread_local std::vector<double> scratch;
+  return scratch;
+}
 
-// Widens a float buffer to double, in parallel. Pure per-element
-// conversion, so trivially thread-count independent.
-std::vector<double> WidenToDouble(const float* src, int64_t count) {
-  std::vector<double> out(count);
-  double* dst = out.data();
+// Widens a float buffer into the calling thread's scratch, in parallel.
+// Pure per-element conversion, so trivially thread-count independent.
+const double* WidenToDouble(const float* src, int64_t count) {
+  std::vector<double>& buf = WidenScratch();
+  buf.resize(count);
+  double* dst = buf.data();
   ParallelFor(0, count, kElementwiseGrain, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) dst[i] = src[i];
   });
-  return out;
-}
-
-// Computes output rows [i_begin, i_end) of a*b from a pre-widened `a`
-// (`ad`, row-major n x k doubles) and the original float `b`. Iterates
-// column slabs of kGemmNr, packing each slab into a local zero-padded
-// k x kGemmNr double buffer (stays L2-resident across the row panels),
-// then runs the register-tiled micro-kernel. Every output element is the
-// sequential-k double dot product of its row and column, independent of
-// the [i_begin, i_end) partition — so any chunking of rows over threads
-// produces bitwise-identical results.
-void GemmChunk(const double* ad, const Matrix& b, int64_t i_begin,
-               int64_t i_end, int64_t k, int64_t m, Matrix* out) {
-  std::vector<double> slab_buf(k * kGemmNr);
-  double* slab = slab_buf.data();
-  const int64_t num_slabs = (m + kGemmNr - 1) / kGemmNr;
-  for (int64_t s = 0; s < num_slabs; ++s) {
-    const int64_t j0 = s * kGemmNr;
-    const int64_t width = std::min<int64_t>(kGemmNr, m - j0);
-    for (int64_t p = 0; p < k; ++p) {
-      const float* b_row = b.Row(p) + j0;
-      double* dst = slab + p * kGemmNr;
-      int64_t l = 0;
-      for (; l < width; ++l) dst[l] = b_row[l];
-      for (; l < kGemmNr; ++l) dst[l] = 0.0;  // padded lanes are discarded
-    }
-    int64_t i0 = i_begin;
-    for (; i0 + kGemmMr <= i_end; i0 += kGemmMr) {
-      double c[kGemmMr][kGemmNr] = {};
-      const double* a0 = ad + (i0 + 0) * k;
-      const double* a1 = ad + (i0 + 1) * k;
-      const double* a2 = ad + (i0 + 2) * k;
-      const double* a3 = ad + (i0 + 3) * k;
-      for (int64_t p = 0; p < k; ++p) {
-        const double* b_row = slab + p * kGemmNr;
-        const double av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
-        for (int64_t l = 0; l < kGemmNr; ++l) {
-          const double bv = b_row[l];
-          c[0][l] += av0 * bv;
-          c[1][l] += av1 * bv;
-          c[2][l] += av2 * bv;
-          c[3][l] += av3 * bv;
-        }
-      }
-      for (int64_t r = 0; r < kGemmMr; ++r) {
-        float* out_row = out->Row(i0 + r) + j0;
-        for (int64_t l = 0; l < width; ++l) {
-          out_row[l] = static_cast<float>(c[r][l]);
-        }
-      }
-    }
-    // Row tail (< kGemmMr rows): single-row micro-kernel. Per element this
-    // is the same sequential-k FMA chain as the 4-row kernel, so a row
-    // lands on the same bits whichever path computes it.
-    for (; i0 < i_end; ++i0) {
-      double c1[kGemmNr] = {};
-      const double* a_row = ad + i0 * k;
-      for (int64_t p = 0; p < k; ++p) {
-        const double av = a_row[p];
-        const double* b_row = slab + p * kGemmNr;
-        for (int64_t l = 0; l < kGemmNr; ++l) c1[l] += av * b_row[l];
-      }
-      float* out_row = out->Row(i0) + j0;
-      for (int64_t l = 0; l < width; ++l) {
-        out_row[l] = static_cast<float>(c1[l]);
-      }
-    }
-  }
+  return dst;
 }
 
 }  // namespace
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
   ADPA_CHECK_EQ(a.cols(), b.rows());
-  Matrix out(a.rows(), b.cols());
+  ADPA_CHECK(out != &a && out != &b);
+  out->Resize(a.rows(), b.cols());
   const int64_t n = a.rows(), k = a.cols(), m = b.cols();
-  if (n == 0 || k == 0 || m == 0) return out;
-  const std::vector<double> ad = WidenToDouble(a.data(), n * k);
-  // Partition over row panels (multiples of kGemmMr) so panel grouping —
-  // and with it the exact instruction path per row — is independent of the
-  // thread count.
-  const int64_t num_panels = (n + kGemmMr - 1) / kGemmMr;
-  ParallelFor(0, num_panels, 1, [&](int64_t begin, int64_t end) {
-    GemmChunk(ad.data(), b, begin * kGemmMr, std::min(end * kGemmMr, n), k, m,
-              &out);
-  });
+  if (n == 0 || k == 0 || m == 0) return;
+  const double* ad = WidenToDouble(a.data(), n * k);
+  const simd::KernelTable& kernels = simd::Kernels();
+  const float* b_data = b.data();
+  float* out_data = out->data();
+  // Partition over output rows. Every level's gemm_rows computes each
+  // output element as the same sequential-k chain whichever micro-kernel
+  // path (full tile or row tail) covers its row, so any row partition —
+  // and any thread count — produces bitwise-identical results. The grain
+  // keeps ~kMinCostPerChunk FLOPs per chunk (2*k*m per row).
+  ParallelFor(0, n, GrainForCost(2 * k * m),
+              [&](int64_t row_begin, int64_t row_end) {
+                kernels.gemm_rows(a.data(), ad, b_data, row_begin, row_end, k,
+                                  m, out_data);
+              });
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMulInto(a, b, &out);
   return out;
 }
 
@@ -293,7 +255,9 @@ Matrix MatMulSparseA(const Matrix& a, const Matrix& b) {
   Matrix out(a.rows(), b.cols());
   const int64_t n = a.rows(), k = a.cols(), m = b.cols();
   if (n == 0 || k == 0 || m == 0) return out;
-  ParallelFor(0, n, 1, [&](int64_t row_begin, int64_t row_end) {
+  const simd::KernelTable& kernels = simd::Kernels();
+  ParallelFor(0, n, GrainForCost(2 * k * m),
+              [&](int64_t row_begin, int64_t row_end) {
     std::vector<double> acc(m);
     for (int64_t i = row_begin; i < row_end; ++i) {
       std::fill(acc.begin(), acc.end(), 0.0);
@@ -301,9 +265,7 @@ Matrix MatMulSparseA(const Matrix& a, const Matrix& b) {
       for (int64_t p = 0; p < k; ++p) {
         const float a_ip = a_row[p];
         if (a_ip == 0.0f) continue;  // a zero term adds exactly nothing
-        const double av = a_ip;
-        const float* b_row = b.Row(p);
-        for (int64_t j = 0; j < m; ++j) acc[j] += av * b_row[j];
+        kernels.axpy_wide(a_ip, b.Row(p), m, acc.data());
       }
       float* out_row = out.Row(i);
       for (int64_t j = 0; j < m; ++j) {
@@ -319,13 +281,15 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
   Matrix out(a.cols(), b.cols());
   const int64_t n = a.rows(), k = a.cols(), m = b.cols();
   if (n == 0 || k == 0 || m == 0) return out;
+  const simd::KernelTable& kernels = simd::Kernels();
   // Partition over fixed-size blocks of output rows (columns p of `a`).
   // Each block sweeps all n inputs once, accumulating its block x m tile in
   // a local double scratch; p-order within a block and i-order within a
   // sweep are fixed, so results do not depend on the thread count.
   constexpr int64_t kBlock = 32;
   const int64_t num_blocks = (k + kBlock - 1) / kBlock;
-  ParallelFor(0, num_blocks, 1, [&](int64_t block_begin, int64_t block_end) {
+  ParallelFor(0, num_blocks, GrainForCost(2 * n * kBlock * m),
+              [&](int64_t block_begin, int64_t block_end) {
     std::vector<double> acc(kBlock * m);
     for (int64_t blk = block_begin; blk < block_end; ++blk) {
       const int64_t p0 = blk * kBlock;
@@ -339,9 +303,7 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
           // Skipping exact zeros (ReLU/dropout gradients are full of them)
           // leaves the double accumulator bit-for-bit unchanged.
           if (a_ip == 0.0f) continue;
-          const double av = a_ip;
-          double* acc_row = acc.data() + (p - p0) * m;
-          for (int64_t j = 0; j < m; ++j) acc_row[j] += av * b_row[j];
+          kernels.axpy_wide(a_ip, b_row, m, acc.data() + (p - p0) * m);
         }
       }
       for (int64_t p = p0; p < p1; ++p) {
@@ -361,17 +323,14 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   Matrix out(a.rows(), b.rows());
   const int64_t n = a.rows(), k = a.cols(), m = b.rows();
   if (n == 0 || k == 0 || m == 0) return out;
-  ParallelFor(0, n, 1, [&](int64_t row_begin, int64_t row_end) {
+  const simd::KernelTable& kernels = simd::Kernels();
+  ParallelFor(0, n, GrainForCost(2 * k * m),
+              [&](int64_t row_begin, int64_t row_end) {
     for (int64_t i = row_begin; i < row_end; ++i) {
       const float* a_row = a.Row(i);
       float* out_row = out.Row(i);
       for (int64_t j = 0; j < m; ++j) {
-        const float* b_row = b.Row(j);
-        double acc = 0.0;
-        for (int64_t p = 0; p < k; ++p) {
-          acc += static_cast<double>(a_row[p]) * b_row[p];
-        }
-        out_row[j] = static_cast<float>(acc);
+        out_row[j] = static_cast<float>(kernels.dot(a_row, b.Row(j), k));
       }
     }
   });
@@ -407,41 +366,64 @@ Matrix ConcatCols(const Matrix& a, const Matrix& b) {
 }
 
 Matrix ConcatCols(const std::vector<Matrix>& parts) {
+  std::vector<const Matrix*> views;
+  views.reserve(parts.size());
+  for (const Matrix& part : parts) views.push_back(&part);
+  Matrix out;
+  ConcatColsInto(views, &out);
+  return out;
+}
+
+void ConcatColsInto(const std::vector<const Matrix*>& parts, Matrix* out) {
   ADPA_CHECK(!parts.empty());
-  const int64_t rows = parts[0].rows();
+  const int64_t rows = parts[0]->rows();
   int64_t total_cols = 0;
-  for (const Matrix& part : parts) {
-    ADPA_CHECK_EQ(part.rows(), rows);
-    total_cols += part.cols();
+  for (const Matrix* part : parts) {
+    ADPA_CHECK(part != out);
+    ADPA_CHECK_EQ(part->rows(), rows);
+    total_cols += part->cols();
   }
-  Matrix out(rows, total_cols);
+  out->Resize(rows, total_cols);
+  const simd::KernelTable& kernels = simd::Kernels();
   for (int64_t r = 0; r < rows; ++r) {
-    float* dst = out.Row(r);
-    for (const Matrix& part : parts) {
-      std::copy(part.Row(r), part.Row(r) + part.cols(), dst);
-      dst += part.cols();
+    float* dst = out->Row(r);
+    for (const Matrix* part : parts) {
+      kernels.copy(dst, part->Row(r), part->cols());
+      dst += part->cols();
     }
   }
-  return out;
 }
 
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
-  ADPA_CHECK_EQ(row.rows(), 1);
-  ADPA_CHECK_EQ(row.cols(), a.cols());
   Matrix out = a;
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    float* out_row = out.Row(r);
-    for (int64_t c = 0; c < a.cols(); ++c) out_row[c] += row.At(0, c);
-  }
+  AddRowBroadcastInPlace(&out, row);
   return out;
 }
 
+void AddRowBroadcastInPlace(Matrix* a, const Matrix& row) {
+  ADPA_CHECK_EQ(row.rows(), 1);
+  ADPA_CHECK_EQ(row.cols(), a->cols());
+  const simd::KernelTable& kernels = simd::Kernels();
+  for (int64_t r = 0; r < a->rows(); ++r) {
+    kernels.add(a->Row(r), row.data(), a->cols());
+  }
+}
+
 Matrix SoftmaxRows(const Matrix& a) {
-  Matrix out(a.rows(), a.cols());
-  ParallelFor(0, a.rows(), 8, [&](int64_t row_begin, int64_t row_end) {
+  Matrix out;
+  SoftmaxRowsInto(a, &out);
+  return out;
+}
+
+void SoftmaxRowsInto(const Matrix& a, Matrix* out) {
+  ADPA_CHECK(out != &a);
+  out->Resize(a.rows(), a.cols());
+  // exp dominates: ~16 scalar-op-equivalents per element.
+  ParallelFor(0, a.rows(), GrainForCost(16 * a.cols()),
+              [&](int64_t row_begin, int64_t row_end) {
     for (int64_t r = row_begin; r < row_end; ++r) {
       const float* in_row = a.Row(r);
-      float* out_row = out.Row(r);
+      float* out_row = out->Row(r);
       float max_value = in_row[0];
       for (int64_t c = 1; c < a.cols(); ++c)
         max_value = std::max(max_value, in_row[c]);
@@ -454,41 +436,60 @@ Matrix SoftmaxRows(const Matrix& a) {
       for (int64_t c = 0; c < a.cols(); ++c) out_row[c] *= inv;
     }
   });
-  return out;
 }
 
 Matrix ScaleRows(const Matrix& a, const Matrix& scales) {
+  Matrix out;
+  ScaleRowsInto(a, scales, &out);
+  return out;
+}
+
+void ScaleRowsInto(const Matrix& a, const Matrix& scales, Matrix* out) {
   ADPA_CHECK_EQ(scales.cols(), 1);
   ADPA_CHECK_EQ(scales.rows(), a.rows());
-  Matrix out = a;
-  for (int64_t r = 0; r < out.rows(); ++r) {
-    const float s = scales.At(r, 0);
-    float* row = out.Row(r);
-    for (int64_t c = 0; c < out.cols(); ++c) row[c] *= s;
+  ADPA_CHECK(out != &a && out != &scales);
+  out->Resize(a.rows(), a.cols());
+  const simd::KernelTable& kernels = simd::Kernels();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    kernels.scale_to(out->Row(r), a.Row(r), scales.At(r, 0), a.cols());
   }
-  return out;
 }
 
 Matrix SliceCols(const Matrix& a, int64_t begin, int64_t end) {
-  ADPA_CHECK_GE(begin, 0);
-  ADPA_CHECK_LE(begin, end);
-  ADPA_CHECK_LE(end, a.cols());
-  Matrix out(a.rows(), end - begin);
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    std::copy(a.Row(r) + begin, a.Row(r) + end, out.Row(r));
-  }
+  Matrix out;
+  SliceColsInto(a, begin, end, &out);
   return out;
 }
 
+void SliceColsInto(const Matrix& a, int64_t begin, int64_t end, Matrix* out) {
+  ADPA_CHECK_GE(begin, 0);
+  ADPA_CHECK_LE(begin, end);
+  ADPA_CHECK_LE(end, a.cols());
+  ADPA_CHECK(out != &a);
+  out->Resize(a.rows(), end - begin);
+  const simd::KernelTable& kernels = simd::Kernels();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    kernels.copy(out->Row(r), a.Row(r) + begin, end - begin);
+  }
+}
+
 Matrix GatherRows(const Matrix& a, const std::vector<int64_t>& rows) {
-  Matrix out(static_cast<int64_t>(rows.size()), a.cols());
+  Matrix out;
+  GatherRowsInto(a, rows, &out);
+  return out;
+}
+
+void GatherRowsInto(const Matrix& a, const std::vector<int64_t>& rows,
+                    Matrix* out) {
+  ADPA_CHECK(out != &a);
+  out->Resize(static_cast<int64_t>(rows.size()), a.cols());
+  const simd::KernelTable& kernels = simd::Kernels();
   for (size_t i = 0; i < rows.size(); ++i) {
     const int64_t r = rows[i];
     ADPA_CHECK_GE(r, 0);
     ADPA_CHECK_LT(r, a.rows());
-    std::copy(a.Row(r), a.Row(r) + a.cols(), out.Row(static_cast<int64_t>(i)));
+    kernels.copy(out->Row(static_cast<int64_t>(i)), a.Row(r), a.cols());
   }
-  return out;
 }
 
 bool AllClose(const Matrix& a, const Matrix& b, float tolerance) {

@@ -11,9 +11,12 @@ namespace adpa {
 
 class Rng;
 
-/// Minimum elements per ParallelFor chunk for O(1)-per-element loops, sized
-/// so a chunk amortizes the pool hand-off (~16K scalar ops).
-inline constexpr int64_t kElementwiseGrain = 1 << 14;
+/// Minimum elements per ParallelFor chunk for O(1)-per-element loops:
+/// enough elements that a chunk amortizes the pool hand-off
+/// (kMinCostPerChunk scalar ops). Sub-grain spans run inline — on the serve
+/// path every per-batch elementwise op is far below this, which is exactly
+/// the point (fanning out sub-millisecond ops cost more than it bought).
+inline constexpr int64_t kElementwiseGrain = GrainForCost(1);
 
 /// Dense row-major float32 matrix. This is the single dense container used
 /// by the autograd engine, the models, and the data generators. Kernels are
@@ -78,6 +81,12 @@ class Matrix {
 
   /// Sets every entry to `value`.
   void Fill(float value);
+
+  /// Reshapes to rows x cols and zeroes every element. Shrinks or grows the
+  /// logical shape but never releases capacity, so re-Resizing a buffer to a
+  /// shape it has held before performs no allocation (the workspace pool and
+  /// the *Into kernels rely on this for allocation-free steady state).
+  void Resize(int64_t rows, int64_t cols);
 
   /// Elementwise in-place updates (parallel; each element is written by
   /// exactly one thread, so results are thread-count independent).
@@ -159,16 +168,26 @@ class Matrix {
 /// panels, multithreaded results are bitwise identical to single-threaded
 /// ones for any thread count.
 
-/// out = a * b. Shapes must agree (a.cols == b.rows). Cache-blocked,
-/// register-tiled kernel: both operands are widened to double once (per
-/// column slab for `b`), then a 4x32 micro-kernel runs pure double FMAs.
+/// out = a * b. Shapes must agree (a.cols == b.rows). Routed through the
+/// active SIMD level's micro-kernel (simd::Kernels().gemm_rows); see the
+/// KernelTable doc for the per-level accumulation discipline. Bitwise
+/// thread-count invariant at every level.
 Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// MatMul writing into a caller-owned buffer (resized to a.rows x b.cols;
+/// no allocation once `out` has the capacity). `out` must not alias `a` or
+/// `b`. Bitwise identical to MatMul.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// out = a * b for an `a` with many exact zeros (masked/one-hot rows):
 /// row-major traversal that skips the inner loop whenever a(i,p) == 0.
-/// Bitwise-identical to MatMul on finite inputs (a zero term contributes
-/// exactly nothing to a double accumulator); prefer it only when `a` is
-/// sparse enough that branch savings beat the blocked kernel.
+/// Keeps the historical one-double-chain-per-element accumulation at every
+/// level, so it is bitwise-identical to MatMul at the levels that share
+/// that discipline (portable, AVX2; a zero term contributes exactly nothing
+/// to a double accumulator). The AVX-512 MatMul accumulates float runs
+/// (simd::KernelTable::gemm_rows), so there the two agree to rel-error
+/// only. Prefer this routine only when `a` is sparse enough that branch
+/// savings beat the blocked kernel.
 Matrix MatMulSparseA(const Matrix& a, const Matrix& b);
 
 /// out = aᵀ * b, computed without materializing aᵀ.
@@ -187,23 +206,43 @@ Matrix Scale(const Matrix& a, float factor);
 Matrix ConcatCols(const Matrix& a, const Matrix& b);
 Matrix ConcatCols(const std::vector<Matrix>& parts);
 
+/// ConcatCols over borrowed parts, writing into a caller-owned buffer.
+/// `out` must not alias any part.
+void ConcatColsInto(const std::vector<const Matrix*>& parts, Matrix* out);
+
 /// Broadcasts a 1 x cols row vector over every row of `a` (addition).
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& row);
 
+/// In-place row-vector broadcast add: a->Row(r) += row for every r.
+void AddRowBroadcastInPlace(Matrix* a, const Matrix& row);
+
 /// Row-wise softmax (parallel over rows; per-row math unchanged).
 Matrix SoftmaxRows(const Matrix& a);
+
+/// SoftmaxRows writing into a caller-owned buffer (must not alias `a`).
+void SoftmaxRowsInto(const Matrix& a, Matrix* out);
 
 /// Scales row r of `a` by scales(r, 0). `scales` must be a.rows() x 1.
 /// Shared by the autograd ScaleRows forward and the no-tape serving path so
 /// both produce bitwise-identical values.
 Matrix ScaleRows(const Matrix& a, const Matrix& scales);
 
+/// ScaleRows writing into a caller-owned buffer (must not alias `a`).
+void ScaleRowsInto(const Matrix& a, const Matrix& scales, Matrix* out);
+
 /// Returns columns [begin, end) as a new matrix.
 Matrix SliceCols(const Matrix& a, int64_t begin, int64_t end);
+
+/// SliceCols writing into a caller-owned buffer (must not alias `a`).
+void SliceColsInto(const Matrix& a, int64_t begin, int64_t end, Matrix* out);
 
 /// Returns the given rows of `a`, in order (duplicates allowed). Every row
 /// index must lie in [0, a.rows()).
 Matrix GatherRows(const Matrix& a, const std::vector<int64_t>& rows);
+
+/// GatherRows writing into a caller-owned buffer (must not alias `a`).
+void GatherRowsInto(const Matrix& a, const std::vector<int64_t>& rows,
+                    Matrix* out);
 
 /// True when all entries differ by at most `tolerance`.
 bool AllClose(const Matrix& a, const Matrix& b, float tolerance = 1e-5f);

@@ -1,0 +1,125 @@
+#include "src/tensor/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "src/core/logging.h"
+#include "src/tensor/simd_kernels.h"
+
+namespace adpa::simd {
+namespace {
+
+bool CpuSupports(Level level) {
+  switch (level) {
+    case Level::kPortable:
+      return true;
+#if defined(__x86_64__) || defined(_M_X64)
+    case Level::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Level::kAvx512:
+      return __builtin_cpu_supports("avx2") &&
+             __builtin_cpu_supports("fma") &&
+             __builtin_cpu_supports("avx512f");
+#else
+    case Level::kAvx2:
+    case Level::kAvx512:
+      return false;
+#endif
+  }
+  return false;
+}
+
+Level HighestSupported() {
+  if (CpuSupports(Level::kAvx512)) return Level::kAvx512;
+  if (CpuSupports(Level::kAvx2)) return Level::kAvx2;
+  return Level::kPortable;
+}
+
+// Resolves the startup level once: an explicit ADPA_SIMD_LEVEL request wins
+// (and must be valid — a typo or an unsupported level aborts instead of
+// silently degrading a benchmark or a parity run), otherwise the highest
+// level this CPU can execute.
+Level ResolveStartupLevel() {
+  const char* env = std::getenv("ADPA_SIMD_LEVEL");
+  if (env != nullptr && env[0] != '\0') {
+    Level requested;
+    ADPA_CHECK(ParseLevel(env, &requested))
+        << "ADPA_SIMD_LEVEL=" << env
+        << " is not a dispatch level (portable|avx2|avx512)";
+    ADPA_CHECK(CpuSupports(requested))
+        << "ADPA_SIMD_LEVEL=" << env << " is not supported by this CPU";
+    return requested;
+  }
+  return HighestSupported();
+}
+
+std::atomic<Level>& ActiveLevelState() {
+  static std::once_flag once;
+  static std::atomic<Level> state{Level::kPortable};
+  std::call_once(once, [] { state.store(ResolveStartupLevel()); });
+  return state;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kPortable:
+      return "portable";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseLevel(const std::string& name, Level* out) {
+  if (name == "portable") {
+    *out = Level::kPortable;
+  } else if (name == "avx2") {
+    *out = Level::kAvx2;
+  } else if (name == "avx512") {
+    *out = Level::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool LevelSupported(Level level) { return CpuSupports(level); }
+
+std::vector<Level> SupportedLevels() {
+  std::vector<Level> levels;
+  for (Level level : {Level::kPortable, Level::kAvx2, Level::kAvx512}) {
+    if (CpuSupports(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+Level ActiveLevel() { return ActiveLevelState().load(); }
+
+void SetLevel(Level level) {
+  ADPA_CHECK(CpuSupports(level))
+      << "SIMD level " << LevelName(level) << " is not supported by this CPU";
+  ActiveLevelState().store(level);
+}
+
+const KernelTable& Kernels() { return KernelsFor(ActiveLevel()); }
+
+const KernelTable& KernelsFor(Level level) {
+  ADPA_CHECK(CpuSupports(level))
+      << "SIMD level " << LevelName(level) << " is not supported by this CPU";
+  switch (level) {
+    case Level::kPortable:
+      return detail::kPortableTable;
+    case Level::kAvx2:
+      return detail::kAvx2Table;
+    case Level::kAvx512:
+      return detail::kAvx512Table;
+  }
+  return detail::kPortableTable;
+}
+
+}  // namespace adpa::simd

@@ -1,0 +1,42 @@
+#pragma once
+#include <cstdint>
+
+#include "src/tensor/simd.h"
+
+/// Internal: per-level kernel tables and the portable entry points the
+/// higher levels reuse for ops where wider lanes add nothing (plain
+/// copies). Only simd.cc and the kernels_*.cc implementation files include
+/// this; everything else goes through simd::Kernels().
+
+namespace adpa::simd::detail {
+
+extern const KernelTable kPortableTable;
+extern const KernelTable kAvx2Table;
+extern const KernelTable kAvx512Table;
+
+// Portable implementations (kernels_portable.cc). These are the historical
+// matrix.cc / sparse_matrix.cc inner loops, moved verbatim; the portable
+// table is built from exactly these, so the `portable` level behaves as the
+// pre-dispatch kernels did.
+void GemmRowsPortable(const float* a, const double* ad, const float* b,
+                      int64_t i_begin, int64_t i_end, int64_t k, int64_t m,
+                      float* out);
+double DotPortable(const float* a, const float* b, int64_t k);
+void AxpyWidePortable(double w, const float* x, int64_t m, double* acc);
+void SpmmRowsPortable(const int64_t* row_ptr, const int32_t* col_idx,
+                      const float* values, const float* dense, int64_t cols,
+                      int64_t row_begin, int64_t row_end, float* out);
+void SpmmAxpbyRowsPortable(const int64_t* row_ptr, const int32_t* col_idx,
+                           const float* values, const float* dense,
+                           const float* residual, float alpha, float beta,
+                           int64_t cols, int64_t row_begin, int64_t row_end,
+                           float* out);
+void AddPortable(float* dst, const float* src, int64_t n);
+void SubPortable(float* dst, const float* src, int64_t n);
+void MulPortable(float* dst, const float* src, int64_t n);
+void ScalePortable(float* dst, float factor, int64_t n);
+void AxpyPortable(float* dst, const float* src, float factor, int64_t n);
+void ScaleToPortable(float* dst, const float* src, float factor, int64_t n);
+void CopyPortable(float* dst, const float* src, int64_t n);
+
+}  // namespace adpa::simd::detail

@@ -1,0 +1,15 @@
+#include "src/tensor/workspace.h"
+
+namespace adpa {
+
+Matrix* Workspace::Acquire(int64_t rows, int64_t cols) {
+  if (next_ == slots_.size()) {
+    slots_.push_back(std::make_unique<Matrix>(rows, cols));
+    return slots_[next_++].get();
+  }
+  Matrix* slot = slots_[next_++].get();
+  slot->Resize(rows, cols);
+  return slot;
+}
+
+}  // namespace adpa

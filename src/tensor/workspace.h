@@ -1,0 +1,41 @@
+#pragma once
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace adpa {
+
+/// Slot pool of reusable Matrix buffers for allocation-free hot paths
+/// (DESIGN.md §12). A caller acquires matrices in a fixed order each pass;
+/// Reset() rewinds the cursor without releasing capacity, so steady-state
+/// passes perform zero heap allocations once every slot has grown to its
+/// high-water size.
+///
+/// Not thread-safe: each thread owns its own Workspace (the serve path keeps
+/// one in a thread_local scratch).
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Returns the next slot shaped rows x cols with every element zeroed.
+  /// The pointer stays valid until the Workspace is destroyed (slots are
+  /// stable unique_ptrs; acquiring more slots never moves earlier ones).
+  Matrix* Acquire(int64_t rows, int64_t cols);
+
+  /// Rewinds the slot cursor to the first slot. Existing buffers keep their
+  /// capacity; the next Acquire sequence reuses them in order.
+  void Reset() { next_ = 0; }
+
+  /// Number of slots ever created (high-water mark across passes).
+  int64_t slots() const { return static_cast<int64_t>(slots_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<Matrix>> slots_;
+  size_t next_ = 0;
+};
+
+}  // namespace adpa

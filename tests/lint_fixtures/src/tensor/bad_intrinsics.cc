@@ -1,0 +1,24 @@
+// Fixture: simd-isolation must fire on the intrinsics header include and
+// on every raw _mm*/_mm256_*/_mm512_* call outside the dispatch kernel
+// files (src/tensor/kernels_*.cc), and the lint:allow escape hatch must
+// suppress it.
+#include <immintrin.h>
+
+namespace adpa {
+
+void BadWiden(float* dst, const float* src) {
+  __m256 v = _mm256_loadu_ps(src);
+  _mm256_storeu_ps(dst, v);
+}
+
+void BadZero(double* dst) {
+  __m512d w = _mm512_setzero_pd();
+  _mm512_storeu_pd(dst, w);
+}
+
+void SanctionedFence() {
+  // lint:allow(simd-isolation)
+  _mm_sfence();
+}
+
+}  // namespace adpa

@@ -1,0 +1,13 @@
+// Fixture: the dispatch kernel files are the one place raw intrinsics are
+// allowed — simd-isolation must produce no findings here.
+#include <immintrin.h>
+
+namespace adpa::simd::detail {
+
+void FixtureAxpy(float* dst, const float* src) {
+  __m512 a = _mm512_loadu_ps(src);
+  __m512 b = _mm512_loadu_ps(dst);
+  _mm512_storeu_ps(dst, _mm512_add_ps(a, b));
+}
+
+}  // namespace adpa::simd::detail

@@ -112,6 +112,18 @@ class LintRuleTest(unittest.TestCase):
         # Backward returns void.
         self.assertEqual(len(hits), 1)
 
+    def test_simd_isolation_fires_outside_kernel_files(self):
+        hits = [(line, rule) for p, line, rule in self.findings
+                if p == "src/tensor/bad_intrinsics.cc"]
+        self.assertEqual({rule for _, rule in hits}, {"simd-isolation"})
+        # The <immintrin.h> include and all four raw intrinsic calls fire;
+        # the lint:allow'd fence is suppressed.
+        self.assertEqual(len(hits), 5)
+
+    def test_simd_isolation_exempts_dispatch_kernel_files(self):
+        self.assertEqual(
+            rules_for(self.findings, "src/tensor/kernels_avx512.cc"), [])
+
     def test_allow_escape_hatch_suppresses_everything(self):
         self.assertEqual(rules_for(self.findings, "src/models/allowed.cc"), [])
 

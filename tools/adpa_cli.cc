@@ -42,6 +42,7 @@
 #include "src/io/checkpoint.h"
 #include "src/metrics/homophily.h"
 #include "src/models/factory.h"
+#include "src/tensor/simd.h"
 #include "src/train/trainer.h"
 
 namespace adpa {
@@ -64,7 +65,9 @@ int Usage() {
                "           [--checkpoint_every=N --checkpoint_path=F]\n"
                "           [--resume_from=F]\n"
                "  any command also accepts --threads=N (0 = auto); results\n"
-               "  are independent of the thread count\n");
+               "  are independent of the thread count\n"
+               "  --simd_level=<portable|avx2|avx512> pins the kernel\n"
+               "  dispatch level (default: fastest the CPU supports)\n");
   return 2;
 }
 
@@ -262,6 +265,25 @@ int Main(int argc, char** argv) {
   // 0 = auto (ADPA_NUM_THREADS env var, then hardware concurrency).
   if (flags.Has("threads")) {
     SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
+  }
+  // Resolve the dispatch level eagerly so a bad ADPA_SIMD_LEVEL aborts at
+  // startup instead of on the first kernel call (which some commands never
+  // reach).
+  simd::ActiveLevel();
+  if (flags.Has("simd_level")) {
+    const std::string level_name = flags.GetString("simd_level", "");
+    simd::Level level;
+    if (!simd::ParseLevel(level_name, &level)) {
+      std::fprintf(stderr, "error: unknown --simd_level=%s\n",
+                   level_name.c_str());
+      return Usage();
+    }
+    if (!simd::LevelSupported(level)) {
+      std::fprintf(stderr, "error: --simd_level=%s not supported by this CPU\n",
+                   level_name.c_str());
+      return 1;
+    }
+    simd::SetLevel(level);
   }
   if (command == "generate") return Generate(flags);
   if (command == "analyze") return Analyze(flags);

@@ -29,6 +29,9 @@
 //   --max_queue_depth=N   pending-request ceiling before Submit is rejected
 //                         with "overloaded" (default 4096)
 //   --threads=N           kernel thread count (0 = auto)
+//   --simd_level=<portable|avx2|avx512>
+//                         pin the kernel dispatch level (default: fastest
+//                         level the CPU supports)
 
 #include <algorithm>
 #include <cerrno>
@@ -49,6 +52,7 @@
 #include "src/serve/engine.h"
 #include "src/serve/jsonl.h"
 #include "src/serve/metrics.h"
+#include "src/tensor/simd.h"
 
 namespace adpa {
 namespace {
@@ -113,7 +117,8 @@ int Usage() {
                "usage: adpa_serve --checkpoint=F --in=F [--undirect]\n"
                "                  [--cache=F --batch_lines=N "
                "--max_batch_nodes=N\n"
-               "                  --max_queue_depth=N --threads=N]\n"
+               "                  --max_queue_depth=N --threads=N\n"
+               "                  --simd_level=<portable|avx2|avx512>]\n"
                "reads JSON-lines requests from stdin, writes replies to "
                "stdout;\n"
                "SIGTERM/SIGINT drain in-flight requests and exit 0\n");
@@ -128,6 +133,24 @@ int Main(int argc, char** argv) {
   if (checkpoint_path.empty() || dataset_path.empty()) return Usage();
   if (flags.Has("threads")) {
     SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
+  }
+  // Resolve the dispatch level eagerly so a bad ADPA_SIMD_LEVEL aborts at
+  // startup instead of on the first kernel call.
+  simd::ActiveLevel();
+  if (flags.Has("simd_level")) {
+    const std::string level_name = flags.GetString("simd_level", "");
+    simd::Level level;
+    if (!simd::ParseLevel(level_name, &level)) {
+      std::fprintf(stderr, "error: unknown --simd_level=%s\n",
+                   level_name.c_str());
+      return Usage();
+    }
+    if (!simd::LevelSupported(level)) {
+      std::fprintf(stderr, "error: --simd_level=%s not supported by this CPU\n",
+                   level_name.c_str());
+      return 1;
+    }
+    simd::SetLevel(level);
   }
 
   // No SA_RESTART: a signal must interrupt the blocking stdin read so the

@@ -3,8 +3,22 @@
 # JSON reports so the perf trajectory is tracked in-repo across PRs (see
 # BENCH_kernels.json and BENCH_serve.json).
 #
-# usage: tools/bench_to_json.sh [build-dir] [out-file] [serve-out-file]
+# Provenance guard: both binaries self-report whether THIS code was compiled
+# with NDEBUG ("adpa_build_type" in the google-benchmark context,
+# "build_type" in serve_bench's report). Numbers from a debug or sanitizer
+# build are refused — they would silently poison the tracked trajectory —
+# unless --allow-debug is given (for local experiments only; never commit
+# such files). The stock "library_build_type" key is NOT consulted: it only
+# describes the installed google-benchmark library.
+#
+# usage: tools/bench_to_json.sh [--allow-debug] [build-dir] [out-file] [serve-out-file]
 set -eu
+
+ALLOW_DEBUG=0
+if [ "${1:-}" = "--allow-debug" ]; then
+  ALLOW_DEBUG=1
+  shift
+fi
 
 BUILD_DIR="${1:-build}"
 OUT_FILE="${2:-BENCH_kernels.json}"
@@ -12,17 +26,35 @@ SERVE_OUT_FILE="${3:-BENCH_serve.json}"
 BENCH_BIN="$BUILD_DIR/bench/bench_kernels"
 SERVE_BIN="$BUILD_DIR/bench/serve_bench"
 
+# check_release <file> <json-key>: refuse a report whose self-declared build
+# type is not "release" (unless --allow-debug).
+check_release() {
+  if grep -q "\"$2\": \"release\"" "$1"; then
+    return 0
+  fi
+  if [ "$ALLOW_DEBUG" = 1 ]; then
+    echo "warning: $1 comes from a non-release build (kept: --allow-debug)" >&2
+    return 0
+  fi
+  echo "error: $1 comes from a non-release build ($2 != \"release\");" >&2
+  echo "       rebuild with the default Release preset, or pass --allow-debug" >&2
+  echo "       to keep the numbers for local comparison (never commit them)" >&2
+  rm -f "$1"
+  exit 1
+}
+
 if [ ! -x "$BENCH_BIN" ]; then
   echo "error: $BENCH_BIN not built (run: cmake --build $BUILD_DIR)" >&2
   exit 1
 fi
 
 "$BENCH_BIN" \
-  --benchmark_filter='BM_(MatMulSeedKernel512|MatMulBlocked512|SpMM|DenseMatMul|DpPropagation)' \
+  --benchmark_filter='BM_(MatMulSeedKernel512|MatMulBlocked512|MatMulDispatch512|SpMM|DenseMatMul|DpPropagation|HopChainUnfused|HopChainFused)' \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json > "$OUT_FILE"
 
+check_release "$OUT_FILE" "adpa_build_type"
 echo "wrote $OUT_FILE"
 
 if [ ! -x "$SERVE_BIN" ]; then
@@ -32,4 +64,5 @@ fi
 
 "$SERVE_BIN" > "$SERVE_OUT_FILE"
 
+check_release "$SERVE_OUT_FILE" "build_type"
 echo "wrote $SERVE_OUT_FILE"

@@ -35,6 +35,12 @@ Rules (ids used by the `// lint:allow(<rule>)` escape hatch):
                            result-affecting paths (src/models, src/train);
                            hash iteration order is implementation-defined and
                            breaks run-to-run reproducibility.
+  simd-isolation           raw SIMD intrinsics (<immintrin.h>, _mm*/_mm256*/
+                           _mm512* calls) are forbidden in src/ outside the
+                           dispatch kernel files src/tensor/kernels_*.cc;
+                           everything else calls simd::Kernels() so the
+                           portable level stays complete and runtime dispatch
+                           cannot be bypassed.
   no-bare-exit             exit()/abort()/_exit()/quick_exit() in src/
                            outside the failpoint and logging machinery;
                            library code reports failure as a Status (or an
@@ -199,6 +205,24 @@ RULES = [
             "src/core/failpoint.cc",
             "src/core/logging.h",
             "src/core/logging.cc",
+        ),
+    ),
+    Rule(
+        "simd-isolation",
+        "raw SIMD intrinsics outside the dispatch kernel files "
+        "(src/tensor/kernels_*.cc); go through simd::Kernels() so the "
+        "portable level stays complete and ADPA_SIMD_LEVEL dispatch cannot "
+        "be bypassed",
+        [
+            r"#\s*include\s*<[xei]mmintrin\.h>",
+            r"#\s*include\s*<immintrin\.h>",
+            r"\b_mm(?:256|512)?_\w+\s*\(",
+        ],
+        scopes=CXX_SOURCE_SCOPES,
+        exempt=(
+            "src/tensor/kernels_portable.cc",
+            "src/tensor/kernels_avx2.cc",
+            "src/tensor/kernels_avx512.cc",
         ),
     ),
     Rule(

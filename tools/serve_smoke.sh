@@ -10,8 +10,17 @@
 # stable across build modes; it was verified identical between the
 # -march=native and portable (ADPA_NATIVE_ARCH=OFF) builds.
 #
+# The SIMD dispatch level is pinned to portable: the golden encodes a full
+# 30-epoch training trajectory, which is chaotic in the kernel level (AVX2/
+# AVX-512 GEMMs agree with portable only to rel-error, and 30 epochs amplify
+# that). Pinning makes the replies byte-stable on every host CPU; the
+# per-level kernels themselves are covered by tests/simd_test.
+#
 # usage: tools/serve_smoke.sh [build-dir]
 set -eu
+
+ADPA_SIMD_LEVEL=portable
+export ADPA_SIMD_LEVEL
 
 BUILD_DIR="${1:-build}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
