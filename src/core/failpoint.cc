@@ -41,7 +41,9 @@ std::vector<std::pair<std::string, std::string>> Catalog() {
 
 #include <cstdlib>
 #include <map>
-#include <mutex>
+
+#include "src/core/mutex.h"
+#include "src/core/thread_annotations.h"
 
 namespace adpa::failpoint {
 namespace {
@@ -59,9 +61,9 @@ struct PointConfig {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, PointConfig> points;
-  bool env_loaded = false;
+  Mutex mu;
+  std::map<std::string, PointConfig> points ADPA_GUARDED_BY(mu);
+  bool env_loaded ADPA_GUARDED_BY(mu) = false;
 };
 
 Registry& GetRegistry() {
@@ -155,7 +157,8 @@ Status ParseSpec(const std::string& name, const std::string& spec,
 }
 
 Status ConfigureLocked(Registry& registry, const std::string& name,
-                       const std::string& spec) {
+                       const std::string& spec)
+    ADPA_REQUIRES(registry.mu) {
   if (!KnownName(name)) {
     return Status::InvalidArgument(
         "unknown failpoint \"" + name +
@@ -172,7 +175,8 @@ Status ConfigureLocked(Registry& registry, const std::string& name,
 }
 
 Status ConfigureFromStringLocked(Registry& registry,
-                                 const std::string& specs) {
+                                 const std::string& specs)
+    ADPA_REQUIRES(registry.mu) {
   size_t start = 0;
   while (start <= specs.size()) {
     size_t end = specs.find(';', start);
@@ -194,7 +198,7 @@ Status ConfigureFromStringLocked(Registry& registry,
 /// One-time pickup of the ADPA_FAILPOINTS env var. A malformed spec is a
 /// hard abort: a crash harness that silently runs with no faults armed
 /// would report vacuous green.
-void LoadEnvLocked(Registry& registry) {
+void LoadEnvLocked(Registry& registry) ADPA_REQUIRES(registry.mu) {
   if (registry.env_loaded) return;
   registry.env_loaded = true;
   const char* env = std::getenv("ADPA_FAILPOINTS");
@@ -212,27 +216,27 @@ void LoadEnvLocked(Registry& registry) {
 
 Status Configure(const std::string& name, const std::string& spec) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(&registry.mu);
   registry.env_loaded = true;  // explicit config supersedes the env var
   return ConfigureLocked(registry, name, spec);
 }
 
 Status ConfigureFromString(const std::string& specs) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(&registry.mu);
   registry.env_loaded = true;
   return ConfigureFromStringLocked(registry, specs);
 }
 
 void ClearAll() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(&registry.mu);
   registry.points.clear();
 }
 
 uint64_t HitCount(const std::string& name) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(&registry.mu);
   const auto it = registry.points.find(name);
   return it == registry.points.end() ? 0 : it->second.hits;
 }
@@ -241,7 +245,7 @@ Status Hit(const char* name) {
   Registry& registry = GetRegistry();
   PointConfig fired;
   {
-    std::lock_guard<std::mutex> lock(registry.mu);
+    MutexLock lock(&registry.mu);
     LoadEnvLocked(registry);
     const auto it = registry.points.find(name);
     if (it == registry.points.end()) return Status::OK();

@@ -1,0 +1,92 @@
+#pragma once
+// The annotated locking primitives are the one place raw <mutex> /
+// <condition_variable> types may appear in src/ (enforced by the
+// `mutex-annotations` lint rule): everything else locks through these
+// wrappers so Clang Thread Safety Analysis sees every acquire/release.
+// lint:allow(mutex-annotations)
+#include <condition_variable>  // lint:allow(mutex-annotations)
+#include <mutex>               // lint:allow(mutex-annotations)
+
+#include "src/core/thread_annotations.h"
+
+namespace adpa {
+
+class CondVar;
+
+/// Annotated exclusive mutex (DESIGN.md §13). A thin wrapper over
+/// std::mutex that carries the Clang Thread Safety Analysis capability
+/// attributes: members protected by a Mutex are declared
+/// `ADPA_GUARDED_BY(mu_)` and the compiler proves every access holds the
+/// lock. Compiles to exactly a std::mutex on non-Clang builds.
+///
+/// Prefer MutexLock for scoped acquisition; Lock()/Unlock() exist for the
+/// rare non-scoped protocol.
+class ADPA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ADPA_ACQUIRE() { mu_.lock(); }          // lint:allow(mutex-annotations)
+  void Unlock() ADPA_RELEASE() { mu_.unlock(); }      // lint:allow(mutex-annotations)
+  bool TryLock() ADPA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // lint:allow(mutex-annotations)
+};
+
+/// RAII scoped lock over an adpa::Mutex. Construction acquires, destruction
+/// releases; the scoped-capability attribute lets the analysis track the
+/// held region precisely (including early `return`/`continue` paths).
+class ADPA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ADPA_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() ADPA_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with adpa::Mutex.
+///
+/// Wait() deliberately has no predicate overload: Clang's analysis cannot
+/// see a lock held across a lambda boundary, so predicates passed as
+/// closures would force ADPA_NO_THREAD_SAFETY_ANALYSIS waivers at every
+/// wait site. Instead every wait is written as an explicit predicate loop —
+///
+///     MutexLock lock(&mu_);
+///     while (!ready_) cv_.Wait(&mu_);
+///
+/// — which keeps the guarded reads visible to the analysis and makes the
+/// predicate impossible to forget: tools/analyze.py's blocking-under-lock
+/// check rejects any Wait() call that is not the body of a while/for loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu` (which the caller must hold), blocks until
+  /// notified, and reacquires `*mu` before returning. Spurious wakeups are
+  /// expected: always call inside a predicate loop (see class comment).
+  void Wait(Mutex* mu) ADPA_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release
+    // ownership back to the caller's MutexLock without unlocking.
+    // lint:allow(mutex-annotations)
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // lint:allow(mutex-annotations)
+};
+
+}  // namespace adpa

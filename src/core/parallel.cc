@@ -2,16 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/core/logging.h"
+#include "src/core/mutex.h"
+#include "src/core/thread_annotations.h"
 
 namespace adpa {
 namespace {
@@ -33,12 +33,15 @@ struct RegionGuard {
 /// and therefore the work done per output element — is not.
 struct Job {
   const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  // Written once before the job is published to the queue; immutable
+  // while any worker can see it.
+  // analyze:allow(guard): immutable after publication
   std::vector<std::pair<int64_t, int64_t>> chunks;
   std::atomic<size_t> next_chunk{0};
   std::atomic<int> remaining{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::exception_ptr error;  // first failure; guarded by done_mutex
+  Mutex done_mutex;
+  CondVar done_cv;
+  std::exception_ptr error ADPA_GUARDED_BY(done_mutex);  ///< first failure
 };
 
 class ThreadPool {
@@ -53,10 +56,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       stop_ = true;
     }
-    wake_cv_.notify_all();
+    wake_cv_.NotifyAll();
     for (std::thread& worker : workers_) worker.join();
   }
 
@@ -91,7 +94,7 @@ class ThreadPool {
     job->remaining.store(static_cast<int>(job->chunks.size()),
                          std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       jobs_.push_back(job);
     }
     // The caller takes one chunk itself, so only `chunks - 1` workers can
@@ -100,20 +103,22 @@ class ThreadPool {
     // high thread counts; wake exactly as many workers as can help.
     const size_t spare_chunks = job->chunks.size() - 1;
     if (spare_chunks >= workers_.size()) {
-      wake_cv_.notify_all();
+      wake_cv_.NotifyAll();
     } else {
-      for (size_t i = 0; i < spare_chunks; ++i) wake_cv_.notify_one();
+      for (size_t i = 0; i < spare_chunks; ++i) wake_cv_.NotifyOne();
     }
     // The caller participates instead of blocking immediately.
     ExecuteChunks(*job);
+    std::exception_ptr error;
     {
-      std::unique_lock<std::mutex> lock(job->done_mutex);
-      job->done_cv.wait(lock, [&job] {
-        return job->remaining.load(std::memory_order_acquire) == 0;
-      });
+      MutexLock lock(&job->done_mutex);
+      while (job->remaining.load(std::memory_order_acquire) != 0) {
+        job->done_cv.Wait(&job->done_mutex);
+      }
+      error = job->error;
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
         if (it->get() == job.get()) {
           jobs_.erase(it);
@@ -121,7 +126,7 @@ class ThreadPool {
         }
       }
     }
-    if (job->error) std::rethrow_exception(job->error);
+    if (error) std::rethrow_exception(error);
   }
 
  private:
@@ -129,8 +134,8 @@ class ThreadPool {
     for (;;) {
       std::shared_ptr<Job> job;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+        MutexLock lock(&mutex_);
+        while (!stop_ && jobs_.empty()) wake_cv_.Wait(&mutex_);
         if (stop_) return;
         job = jobs_.front();
         if (job->next_chunk.load(std::memory_order_relaxed) >=
@@ -154,42 +159,52 @@ class ThreadPool {
         try {
           (*job.fn)(job.chunks[c].first, job.chunks[c].second);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(job.done_mutex);
+          MutexLock lock(&job.done_mutex);
           if (!job.error) job.error = std::current_exception();
         }
       }
       if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(job.done_mutex);
-        job.done_cv.notify_all();
+        MutexLock lock(&job.done_mutex);
+        job.done_cv.NotifyAll();
       }
     }
   }
 
   const int num_threads_;
+  // Touched only by the constructor and destructor, never while workers
+  // run.
+  // analyze:allow(guard): ctor/dtor only
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_cv_;
-  std::deque<std::shared_ptr<Job>> jobs_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar wake_cv_;
+  std::deque<std::shared_ptr<Job>> jobs_ ADPA_GUARDED_BY(mutex_);
+  bool stop_ ADPA_GUARDED_BY(mutex_) = false;
 };
 
-std::mutex& PoolMutex() {
-  static std::mutex* mutex = new std::mutex;
-  return *mutex;
+/// Process-wide pool configuration. Bundling the globals behind one guarded
+/// struct (instead of a bare mutex + file-scope variables) lets the
+/// thread-safety analysis prove every access to them holds `mu`.
+struct PoolState {
+  Mutex mu;
+  int configured_threads ADPA_GUARDED_BY(mu) = 0;  ///< 0 = auto-detect
+  ThreadPool* pool ADPA_GUARDED_BY(mu) = nullptr;  ///< leaked at exit
+};
+
+PoolState& State() {
+  // One-time lazy init, leaked at exit like the pool itself.
+  static PoolState* state = new PoolState;  // analyze:allow(alloc): one-time lazy init
+  return *state;
 }
 
-// Guarded by PoolMutex(). 0 means "auto-detect".
-int configured_threads = 0;
-ThreadPool* pool = nullptr;  // intentionally leaked at exit
-
 ThreadPool& GetPool() {
-  std::lock_guard<std::mutex> lock(PoolMutex());
-  if (pool == nullptr) {
-    const int n =
-        configured_threads > 0 ? configured_threads : DefaultNumThreads();
-    pool = new ThreadPool(n);
+  PoolState& state = State();
+  MutexLock lock(&state.mu);
+  if (state.pool == nullptr) {
+    const int n = state.configured_threads > 0 ? state.configured_threads
+                                               : DefaultNumThreads();
+    state.pool = new ThreadPool(n);
   }
-  return *pool;
+  return *state.pool;
 }
 
 }  // namespace
@@ -207,18 +222,21 @@ int DefaultNumThreads() {
 }
 
 int GetNumThreads() {
-  std::lock_guard<std::mutex> lock(PoolMutex());
-  if (pool != nullptr) return pool->num_threads();
-  return configured_threads > 0 ? configured_threads : DefaultNumThreads();
+  PoolState& state = State();
+  MutexLock lock(&state.mu);
+  if (state.pool != nullptr) return state.pool->num_threads();
+  return state.configured_threads > 0 ? state.configured_threads
+                                      : DefaultNumThreads();
 }
 
 void SetNumThreads(int num_threads) {
   ADPA_CHECK(!InParallelRegion())
       << "SetNumThreads called from inside a ParallelFor body";
-  std::lock_guard<std::mutex> lock(PoolMutex());
-  configured_threads = num_threads > 0 ? num_threads : 0;
-  delete pool;  // joins workers; rebuilt lazily at the next ParallelFor
-  pool = nullptr;
+  PoolState& state = State();
+  MutexLock lock(&state.mu);
+  state.configured_threads = num_threads > 0 ? num_threads : 0;
+  delete state.pool;  // joins workers; rebuilt lazily at the next ParallelFor
+  state.pool = nullptr;
 }
 
 bool InParallelRegion() { return tls_region_depth > 0; }

@@ -104,6 +104,10 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
     std::forward<Fn>(fn)(begin, end);
     return;
   }
+  // Pool hand-off (job + std::function allocation). Hot serving paths never
+  // reach it: ForwardRows pins a SerialSection, so their ParallelFor calls
+  // run inline through the branch above.
+  // analyze:allow(alloc): pool hand-off; serving runs inline via SerialSection
   internal::ParallelForImpl(begin, end, min_chunk,
                             std::function<void(int64_t, int64_t)>(
                                 std::forward<Fn>(fn)));

@@ -1,0 +1,105 @@
+#pragma once
+
+/// Static-analysis annotations (DESIGN.md §13).
+///
+/// Clang Thread Safety Analysis attributes, exposed as ADPA_* macros that
+/// compile to nothing on non-Clang compilers (the Release/GCC builds) and on
+/// Clang builds annotate the locking discipline so `-Wthread-safety -Werror`
+/// proves it at compile time: every member access to a ADPA_GUARDED_BY field
+/// must hold the named capability, every ADPA_REQUIRES function must be
+/// called with it held, and lock/unlock mismatches are build errors.
+///
+/// The annotated primitives themselves live in src/core/mutex.h
+/// (adpa::Mutex / adpa::MutexLock / adpa::CondVar); raw std::mutex use in
+/// src/ is banned by the `mutex-annotations` lint rule so the analysis
+/// cannot be bypassed by accident.
+///
+/// ADPA_HOT is the hot-path marker consumed by tools/analyze.py: a function
+/// tagged ADPA_HOT must not transitively reach an allocation site without a
+/// `// analyze:allow(alloc)` waiver, which is what keeps the serving forward
+/// and the SIMD kernel entry points structurally allocation-free.
+
+#if defined(__clang__)
+#define ADPA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ADPA_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Type annotations ------------------------------------------------------
+
+/// Marks a class as a capability (a lock). The string names the capability
+/// kind in diagnostics ("mutex").
+#define ADPA_CAPABILITY(x) ADPA_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability.
+#define ADPA_SCOPED_CAPABILITY ADPA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member annotations -----------------------------------------------------
+
+/// The member may only be read or written while holding the given
+/// capability.
+#define ADPA_GUARDED_BY(x) ADPA_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointee (not the pointer itself) is protected by the capability.
+#define ADPA_PT_GUARDED_BY(x) ADPA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-order edges: acquiring this capability is only legal before/after
+/// the listed ones — cycles become compile errors instead of deadlocks.
+#define ADPA_ACQUIRED_BEFORE(...) \
+  ADPA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ADPA_ACQUIRED_AFTER(...) \
+  ADPA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function annotations ---------------------------------------------------
+
+/// The caller must hold the capability when calling (and still holds it
+/// after the call returns).
+#define ADPA_REQUIRES(...) \
+  ADPA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ADPA_ACQUIRE(...) \
+  ADPA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller holds.
+#define ADPA_RELEASE(...) \
+  ADPA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function tries to acquire the capability; the first argument is the
+/// return value that signals success.
+#define ADPA_TRY_ACQUIRE(...) \
+  ADPA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (deadlock prevention for
+/// self-locking public APIs).
+#define ADPA_EXCLUDES(...) ADPA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held and tells the analysis so
+/// (for code reachable only with the lock held through an untracked path).
+#define ADPA_ASSERT_CAPABILITY(x) \
+  ADPA_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define ADPA_RETURN_CAPABILITY(x) ADPA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Forbidden in src/serve/
+/// and src/core/ (the acceptance bar is zero waivers there); anywhere else
+/// it must carry a comment explaining why the analysis cannot see the
+/// invariant.
+#define ADPA_NO_THREAD_SAFETY_ANALYSIS \
+  ADPA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Hot-path marker --------------------------------------------------------
+
+/// Tags a function as serving-hot for tools/analyze.py: the analyzer walks
+/// the call graph from every ADPA_HOT root and reports any transitively
+/// reachable allocation site (operator new, push_back, resize, ...) that
+/// does not carry a `// analyze:allow(alloc): <reason>` waiver. The Clang
+/// attribute keeps the tag visible to AST tooling; on other compilers the
+/// marker is consumed textually by the analyzer and compiles to nothing.
+#if defined(__clang__)
+#define ADPA_HOT __attribute__((annotate("adpa_hot")))
+#else
+#define ADPA_HOT
+#endif

@@ -5,15 +5,15 @@
 namespace adpa::serve {
 
 struct MicroBatcher::Ticket::State {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  std::optional<Result<std::vector<int64_t>>> result;
+  Mutex mu;
+  CondVar cv;
+  bool done ADPA_GUARDED_BY(mu) = false;
+  std::optional<Result<std::vector<int64_t>>> result ADPA_GUARDED_BY(mu);
 };
 
 Result<std::vector<int64_t>> MicroBatcher::Ticket::Wait() {
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [this] { return state_->done; });
+  MutexLock lock(&state_->mu);
+  while (!state_->done) state_->cv.Wait(&state_->mu);
   return *state_->result;
 }
 
@@ -40,7 +40,7 @@ MicroBatcher::Ticket MicroBatcher::Submit(std::vector<int64_t> nodes,
   enum class Reject { kNone, kShutdown, kQueueFull };
   Reject reject = Reject::kNone;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_) {
       reject = Reject::kShutdown;
     } else if (static_cast<int64_t>(queue_.size()) >=
@@ -55,7 +55,7 @@ MicroBatcher::Ticket MicroBatcher::Submit(std::vector<int64_t> nodes,
   }
   switch (reject) {
     case Reject::kNone:
-      cv_.notify_one();
+      cv_.NotifyOne();
       break;
     case Reject::kShutdown:
       Deliver(&request, Status::FailedPrecondition("batcher is shut down"));
@@ -76,8 +76,8 @@ bool MicroBatcher::PumpOnce() {
   std::vector<Request> batch;
   std::vector<Request> shed;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    MutexLock lock(&mu_);
+    while (!shutdown_ && queue_.empty()) cv_.Wait(&mu_);
     if (queue_.empty()) return false;  // shut down and fully drained
     // lint:allow(deterministic-randomness) — deadline check, not results
     const auto now = std::chrono::steady_clock::now();
@@ -92,7 +92,7 @@ bool MicroBatcher::PumpOnce() {
         if (waited_ms > static_cast<double>(front.deadline_ms)) {
           // Past its deadline: serving it now would hand the client an
           // answer it already gave up on — shed instead of serve stale.
-          shed.push_back(std::move(front));
+          shed.push_back(std::move(front));  // analyze:allow(alloc): shed list is bounded by queue depth
           queue_.pop_front();
           continue;
         }
@@ -103,7 +103,7 @@ bool MicroBatcher::PumpOnce() {
         break;
       }
       total_nodes += request_nodes;
-      batch.push_back(std::move(front));
+      batch.push_back(std::move(front));  // analyze:allow(alloc): batch assembly, bounded by max_batch_nodes
       queue_.pop_front();
     }
   }
@@ -112,14 +112,14 @@ bool MicroBatcher::PumpOnce() {
     if (metrics_ != nullptr) metrics_->RecordShed();
     Deliver(&request,
             Status::Unavailable("deadline exceeded after " +
-                                std::to_string(request.deadline_ms) +
+                                std::to_string(request.deadline_ms) +  // analyze:allow(alloc): error path only
                                 " ms in queue; retry with backoff"));
   }
   if (batch.empty()) return true;  // everything pending was shed
 
   std::vector<int64_t> merged;
   for (const Request& request : batch) {
-    merged.insert(merged.end(), request.nodes.begin(), request.nodes.end());
+    merged.insert(merged.end(), request.nodes.begin(), request.nodes.end());  // analyze:allow(alloc): coalesced id list, bounded by max_batch_nodes
   }
   if (metrics_ != nullptr) {
     metrics_->RecordBatch(static_cast<int64_t>(batch.size()));
@@ -144,14 +144,14 @@ bool MicroBatcher::PumpOnce() {
 
 void MicroBatcher::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 int64_t MicroBatcher::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(queue_.size());
 }
 
@@ -166,11 +166,11 @@ void MicroBatcher::Deliver(Request* request,
   const int64_t nodes_answered =
       ok ? static_cast<int64_t>(result->size()) : 0;
   {
-    std::lock_guard<std::mutex> lock(request->state->mu);
+    MutexLock lock(&request->state->mu);
     request->state->result = std::move(result);
     request->state->done = true;
   }
-  request->state->cv.notify_all();
+  request->state->cv.NotifyAll();
   if (metrics_ != nullptr) {
     metrics_->RecordRequest(latency_ms, nodes_answered, ok);
   }

@@ -1,14 +1,14 @@
 #pragma once
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "src/core/mutex.h"
 #include "src/core/status.h"
+#include "src/core/thread_annotations.h"
 #include "src/serve/engine.h"
 #include "src/serve/metrics.h"
 
@@ -63,18 +63,19 @@ class MicroBatcher {
   /// queue they resolve to kUnavailable. `deadline_ms` > 0 bounds the queue
   /// wait: a request still unpumped after that long is shed with a
   /// kUnavailable error instead of being served stale (0 = no deadline).
-  Ticket Submit(std::vector<int64_t> nodes, int64_t deadline_ms = 0);
+  Ticket Submit(std::vector<int64_t> nodes, int64_t deadline_ms = 0)
+      ADPA_EXCLUDES(mu_);
 
   /// Blocks until at least one request is pending (or shutdown), coalesces
   /// the queue into one forward, and delivers every reply. Returns false
   /// once shut down with an empty queue — the pump loop's exit condition.
-  bool PumpOnce();
+  ADPA_HOT bool PumpOnce() ADPA_EXCLUDES(mu_);
 
   /// Wakes the pump and fails all future Submits. Idempotent.
-  void Shutdown();
+  void Shutdown() ADPA_EXCLUDES(mu_);
 
   /// Requests currently waiting (diagnostics; racy by nature).
-  int64_t queue_depth() const;
+  int64_t queue_depth() const ADPA_EXCLUDES(mu_);
 
  private:
   struct Request {
@@ -84,16 +85,19 @@ class MicroBatcher {
     std::shared_ptr<Ticket::State> state;
   };
 
-  void Deliver(Request* request, Result<std::vector<int64_t>> result);
+  void Deliver(Request* request, Result<std::vector<int64_t>> result)
+      ADPA_EXCLUDES(mu_);
 
-  const InferenceSession* session_;
-  ServeMetrics* metrics_;
-  Options options_;
+  /// Session/metrics/options are set at construction and never reassigned;
+  /// const-ness is what makes their lock-free reads provably safe.
+  const InferenceSession* const session_;
+  ServeMetrics* const metrics_;
+  const Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Request> queue_ ADPA_GUARDED_BY(mu_);
+  bool shutdown_ ADPA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace adpa::serve

@@ -63,6 +63,10 @@ struct ForwardScratch {
   Workspace ws;
   std::vector<std::vector<const Matrix*>> block_views;
   Matrix dp_rows;
+  /// Reused view lists for FuseStep / ForwardBlocks so steady-state
+  /// forwards build their per-step pointer lists without reallocating.
+  std::vector<const Matrix*> fuse_views;
+  std::vector<const Matrix*> fused_steps;
 };
 
 ForwardScratch& Scratch() {
@@ -283,13 +287,14 @@ Matrix* InferenceSession::FuseStep(const std::vector<const Matrix*>& blocks,
   const int64_t rows = blocks[0]->rows();
   const int64_t cols = blocks[0]->cols();
   Matrix* concat = ws->Acquire(rows, num_blocks * cols);
+  std::vector<const Matrix*>& views = Scratch().fuse_views;
   if (!config_.use_dp_attention) {
     Matrix* mean = ws->Acquire(rows, cols);
     *mean = *blocks[0];
     for (int64_t g = 1; g < num_blocks; ++g) mean->AddInPlace(*blocks[g]);
     mean->ScaleInPlace(1.0f / static_cast<float>(num_blocks));
-    const std::vector<const Matrix*> replicated(num_blocks, mean);
-    ConcatColsInto(replicated, concat);
+    views.assign(num_blocks, mean);  // analyze:allow(alloc): thread_local capacity reuse
+    ConcatColsInto(views, concat);
     Matrix* fused = MlpForward(dp_fuse_, *concat, ws);
     ReluInPlace(fused);
     return fused;
@@ -299,31 +304,29 @@ Matrix* InferenceSession::FuseStep(const std::vector<const Matrix*>& blocks,
       Matrix* weights = ws->Acquire(dp_rows.rows(), dp_rows.cols());
       SoftmaxRowsInto(dp_rows, weights);
       Matrix* column = ws->Acquire(rows, 1);
-      std::vector<const Matrix*> scaled;
-      scaled.reserve(num_blocks);
+      views.clear();
       for (int64_t g = 0; g < num_blocks; ++g) {
         SliceColsInto(*weights, g, g + 1, column);
         Matrix* scaled_g = ws->Acquire(rows, cols);
         ScaleRowsInto(*blocks[g], *column, scaled_g);
-        scaled.push_back(scaled_g);
+        views.push_back(scaled_g);  // analyze:allow(alloc): thread_local capacity reuse
       }
-      ConcatColsInto(scaled, concat);
+      ConcatColsInto(views, concat);
       Matrix* fused = MlpForward(dp_fuse_, *concat, ws);
       ReluInPlace(fused);
       return fused;
     }
     case DpAttention::kGate: {
-      std::vector<const Matrix*> scaled;
-      scaled.reserve(num_blocks);
+      views.clear();
       for (int64_t g = 0; g < num_blocks; ++g) {
         Matrix* gate = LinearForward(*blocks[g], gate_layers_[g].weight,
                                      gate_layers_[g].bias, ws);
         SigmoidInPlace(gate);
         Matrix* scaled_g = ws->Acquire(rows, cols);
         ScaleRowsInto(*blocks[g], *gate, scaled_g);
-        scaled.push_back(scaled_g);
+        views.push_back(scaled_g);  // analyze:allow(alloc): thread_local capacity reuse
       }
-      ConcatColsInto(scaled, concat);
+      ConcatColsInto(views, concat);
       Matrix* fused = MlpForward(dp_fuse_, *concat, ws);
       ReluInPlace(fused);
       return fused;
@@ -360,10 +363,13 @@ Matrix* InferenceSession::FuseStep(const std::vector<const Matrix*>& blocks,
 Matrix InferenceSession::ForwardBlocks(
     const std::vector<std::vector<const Matrix*>>& blocks,
     const Matrix& dp_rows, Workspace* ws) const {
-  std::vector<const Matrix*> fused;
-  fused.reserve(blocks.size());
+  // Per-step fused outputs live in the thread_local scratch (not a fresh
+  // vector) so steady-state forwards reuse its capacity. FuseStep writes
+  // only Scratch().fuse_views, never fused_steps, so the lists don't alias.
+  std::vector<const Matrix*>& fused = Scratch().fused_steps;
+  fused.clear();
   for (const auto& step_blocks : blocks) {
-    fused.push_back(FuseStep(step_blocks, dp_rows, ws));
+    fused.push_back(FuseStep(step_blocks, dp_rows, ws));  // analyze:allow(alloc): thread_local capacity reuse
   }
 
   Matrix* combined = nullptr;
@@ -421,9 +427,11 @@ Result<Matrix> InferenceSession::ForwardRows(
   }
   for (int64_t node : nodes) {
     if (node < 0 || node >= num_nodes_) {
+      // analyze:allow(alloc): error path only
       return Status::OutOfRange("node index " + std::to_string(node) +
                                 " out of range [0, " +
-                                std::to_string(num_nodes_) + ")");
+                                std::to_string(num_nodes_) +  // analyze:allow(alloc): error path only
+                                ")");
     }
   }
   // Batched serving is latency-bound and its ops are sub-millisecond:
@@ -434,14 +442,14 @@ Result<Matrix> InferenceSession::ForwardRows(
   SerialSection serial;
   ForwardScratch& scratch = Scratch();
   scratch.ws.Reset();
-  scratch.block_views.resize(blocks_.size());
+  scratch.block_views.resize(blocks_.size());  // analyze:allow(alloc): thread_local capacity reuse
   for (size_t l = 0; l < blocks_.size(); ++l) {
     scratch.block_views[l].clear();
     for (const Matrix& block : blocks_[l]) {
       Matrix* gathered = scratch.ws.Acquire(
           static_cast<int64_t>(nodes.size()), block.cols());
       GatherRowsInto(block, nodes, gathered);
-      scratch.block_views[l].push_back(gathered);
+      scratch.block_views[l].push_back(gathered);  // analyze:allow(alloc): thread_local capacity reuse
     }
   }
   if (dp_weights_.empty()) {
@@ -456,6 +464,7 @@ Result<std::vector<int64_t>> InferenceSession::Classify(
     const std::vector<int64_t>& nodes) const {
   Result<Matrix> logits = ForwardRows(nodes);
   ADPA_RETURN_IF_ERROR(logits.status());
+  // The one unavoidable allocation: the result the client owns.
   std::vector<int64_t> classes(nodes.size());
   for (int64_t r = 0; r < logits->rows(); ++r) {
     const float* row = logits->Row(r);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/core/status.h"
+#include "src/core/thread_annotations.h"
 #include "src/data/dataset.h"
 #include "src/io/checkpoint.h"
 #include "src/tensor/matrix.h"
@@ -50,11 +51,12 @@ class InferenceSession {
   Matrix ForwardAll() const;
 
   /// Logits for the given nodes, one row per entry of `nodes` (indices may
-  /// repeat). Fails on out-of-range indices.
-  Result<Matrix> ForwardRows(const std::vector<int64_t>& nodes) const;
+  /// repeat). Fails on out-of-range indices. ADPA_HOT: steady-state calls
+  /// must stay allocation-free (tools/analyze.py enforces this).
+  ADPA_HOT Result<Matrix> ForwardRows(const std::vector<int64_t>& nodes) const;
 
   /// Argmax classes for the given nodes (ties break to the lowest index).
-  Result<std::vector<int64_t>> Classify(
+  ADPA_HOT Result<std::vector<int64_t>> Classify(
       const std::vector<int64_t>& nodes) const;
 
   int64_t num_nodes() const { return num_nodes_; }

@@ -18,14 +18,15 @@ uint64_t NextRandom(uint64_t* state) {
 
 void ServeMetrics::RecordRequest(double latency_ms, int64_t nodes_answered,
                                  bool ok) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++requests_;
   if (!ok) ++errors_;
   nodes_ += static_cast<uint64_t>(nodes_answered);
   latency_sum_ms_ += latency_ms;
   ++latency_samples_;
   if (latencies_ms_.size() < kLatencyReservoirCapacity) {
-    latencies_ms_.push_back(latency_ms);
+    // Bounded growth: the reservoir caps at kLatencyReservoirCapacity.
+    latencies_ms_.push_back(latency_ms);  // analyze:allow(alloc): bounded reservoir
   } else {
     // Algorithm R: sample n replaces a random reservoir slot with
     // probability capacity/n, keeping every sample equally likely to stay.
@@ -37,28 +38,28 @@ void ServeMetrics::RecordRequest(double latency_ms, int64_t nodes_answered,
 }
 
 void ServeMetrics::RecordBatch(int64_t coalesced_requests) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++batches_;
   batched_requests_ += static_cast<uint64_t>(coalesced_requests);
 }
 
 void ServeMetrics::RecordQueueDepth(int64_t depth) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   max_queue_depth_ = std::max(max_queue_depth_, depth);
 }
 
 void ServeMetrics::RecordRejected() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++rejected_;
 }
 
 void ServeMetrics::RecordShed() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++shed_;
 }
 
 MetricsSnapshot ServeMetrics::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MetricsSnapshot snapshot;
   snapshot.requests = requests_;
   snapshot.errors = errors_;

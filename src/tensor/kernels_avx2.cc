@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "src/core/thread_annotations.h"
 #include "src/tensor/simd_kernels.h"
 
 #if defined(__x86_64__) || defined(_M_X64)
@@ -76,12 +77,12 @@ inline void StoreRow(const __m256d acc0, const __m256d acc1,
   }
 }
 
-void GemmRowsAvx2(const float* a, const double* ad, const float* b,
+ADPA_HOT void GemmRowsAvx2(const float* a, const double* ad, const float* b,
                   int64_t i_begin, int64_t i_end, int64_t k, int64_t m,
                   float* out) {
   (void)a;  // this level accumulates from the pre-widened operand
   std::vector<double>& slab_buf = SlabScratch();
-  slab_buf.resize(k * kNr);
+  slab_buf.resize(k * kNr);  // analyze:allow(alloc): thread_local slab capacity reuse
   double* slab = slab_buf.data();
   const int64_t num_slabs = (m + kNr - 1) / kNr;
   for (int64_t s = 0; s < num_slabs; ++s) {
@@ -146,7 +147,7 @@ void GemmRowsAvx2(const float* a, const double* ad, const float* b,
   }
 }
 
-double DotAvx2(const float* a, const float* b, int64_t k) {
+ADPA_HOT double DotAvx2(const float* a, const float* b, int64_t k) {
   // 8-wide float lanes widened into two 4-wide double accumulators (lanes
   // p%8 in 0..3 vs 4..7); the split and the final fixed-order horizontal
   // sum change the rounding relative to the strictly sequential portable
@@ -174,7 +175,7 @@ double DotAvx2(const float* a, const float* b, int64_t k) {
   return total;
 }
 
-void AxpyWideAvx2(double w, const float* x, int64_t m, double* acc) {
+ADPA_HOT void AxpyWideAvx2(double w, const float* x, int64_t m, double* acc) {
   const __m256d wv = _mm256_set1_pd(w);
   int64_t j = 0;
   for (; j + 4 <= m; j += 4) {
@@ -201,7 +202,7 @@ inline void AxpyRowF32(float* dst, const float* src, float w, int64_t n) {
 
 constexpr int64_t kSpmmColBlock = 1024;
 
-void SpmmRowsAvx2(const int64_t* row_ptr, const int32_t* col_idx,
+ADPA_HOT void SpmmRowsAvx2(const int64_t* row_ptr, const int32_t* col_idx,
                   const float* values, const float* dense, int64_t cols,
                   int64_t row_begin, int64_t row_end, float* out) {
   for (int64_t c0 = 0; c0 < cols; c0 += kSpmmColBlock) {
@@ -219,7 +220,7 @@ void SpmmRowsAvx2(const int64_t* row_ptr, const int32_t* col_idx,
 
 void ScaleAvx2(float* dst, float factor, int64_t n);
 
-void SpmmAxpbyRowsAvx2(const int64_t* row_ptr, const int32_t* col_idx,
+ADPA_HOT void SpmmAxpbyRowsAvx2(const int64_t* row_ptr, const int32_t* col_idx,
                        const float* values, const float* dense,
                        const float* residual, float alpha, float beta,
                        int64_t cols, int64_t row_begin, int64_t row_end,
@@ -244,7 +245,7 @@ void SpmmAxpbyRowsAvx2(const int64_t* row_ptr, const int32_t* col_idx,
   }
 }
 
-void AddAvx2(float* dst, const float* src, int64_t n) {
+ADPA_HOT void AddAvx2(float* dst, const float* src, int64_t n) {
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
     _mm256_storeu_ps(
@@ -254,7 +255,7 @@ void AddAvx2(float* dst, const float* src, int64_t n) {
   for (; i < n; ++i) dst[i] += src[i];
 }
 
-void SubAvx2(float* dst, const float* src, int64_t n) {
+ADPA_HOT void SubAvx2(float* dst, const float* src, int64_t n) {
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
     _mm256_storeu_ps(
@@ -264,7 +265,7 @@ void SubAvx2(float* dst, const float* src, int64_t n) {
   for (; i < n; ++i) dst[i] -= src[i];
 }
 
-void MulAvx2(float* dst, const float* src, int64_t n) {
+ADPA_HOT void MulAvx2(float* dst, const float* src, int64_t n) {
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
     _mm256_storeu_ps(
@@ -274,7 +275,7 @@ void MulAvx2(float* dst, const float* src, int64_t n) {
   for (; i < n; ++i) dst[i] *= src[i];
 }
 
-void ScaleAvx2(float* dst, float factor, int64_t n) {
+ADPA_HOT void ScaleAvx2(float* dst, float factor, int64_t n) {
   const __m256 fv = _mm256_set1_ps(factor);
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
@@ -283,11 +284,11 @@ void ScaleAvx2(float* dst, float factor, int64_t n) {
   for (; i < n; ++i) dst[i] *= factor;
 }
 
-void AxpyAvx2(float* dst, const float* src, float factor, int64_t n) {
+ADPA_HOT void AxpyAvx2(float* dst, const float* src, float factor, int64_t n) {
   AxpyRowF32(dst, src, factor, n);
 }
 
-void ScaleToAvx2(float* dst, const float* src, float factor, int64_t n) {
+ADPA_HOT void ScaleToAvx2(float* dst, const float* src, float factor, int64_t n) {
   const __m256 fv = _mm256_set1_ps(factor);
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "src/core/thread_annotations.h"
 #include "src/tensor/simd_kernels.h"
 
 #if defined(__x86_64__) || defined(_M_X64)
@@ -158,7 +159,7 @@ float ScalarChunkedDot(const float* a_row, const float* b, int64_t j,
   return static_cast<float>(dacc);
 }
 
-void GemmRowsAvx512(const float* a, const double* ad, const float* b,
+ADPA_HOT void GemmRowsAvx512(const float* a, const double* ad, const float* b,
                     int64_t i_begin, int64_t i_end, int64_t k, int64_t m,
                     float* out) {
   (void)ad;  // this level accumulates float runs straight from `a`
@@ -189,7 +190,7 @@ void GemmRowsAvx512(const float* a, const double* ad, const float* b,
   }
 }
 
-double DotAvx512(const float* a, const float* b, int64_t k) {
+ADPA_HOT double DotAvx512(const float* a, const float* b, int64_t k) {
   // 16-wide float lanes widened into two 8-wide double accumulators; fixed
   // lane order in the final horizontal sum keeps the result a pure
   // function of k.
@@ -215,7 +216,7 @@ double DotAvx512(const float* a, const float* b, int64_t k) {
   return total;
 }
 
-void AxpyWideAvx512(double w, const float* x, int64_t m, double* acc) {
+ADPA_HOT void AxpyWideAvx512(double w, const float* x, int64_t m, double* acc) {
   const __m512d wv = _mm512_set1_pd(w);
   int64_t j = 0;
   for (; j + 8 <= m; j += 8) {
@@ -241,7 +242,7 @@ inline void AxpyRowF32(float* dst, const float* src, float w, int64_t n) {
 
 constexpr int64_t kSpmmColBlock = 1024;
 
-void SpmmRowsAvx512(const int64_t* row_ptr, const int32_t* col_idx,
+ADPA_HOT void SpmmRowsAvx512(const int64_t* row_ptr, const int32_t* col_idx,
                     const float* values, const float* dense, int64_t cols,
                     int64_t row_begin, int64_t row_end, float* out) {
   for (int64_t c0 = 0; c0 < cols; c0 += kSpmmColBlock) {
@@ -259,7 +260,7 @@ void SpmmRowsAvx512(const int64_t* row_ptr, const int32_t* col_idx,
 
 void ScaleAvx512(float* dst, float factor, int64_t n);
 
-void SpmmAxpbyRowsAvx512(const int64_t* row_ptr, const int32_t* col_idx,
+ADPA_HOT void SpmmAxpbyRowsAvx512(const int64_t* row_ptr, const int32_t* col_idx,
                          const float* values, const float* dense,
                          const float* residual, float alpha, float beta,
                          int64_t cols, int64_t row_begin, int64_t row_end,
@@ -284,7 +285,7 @@ void SpmmAxpbyRowsAvx512(const int64_t* row_ptr, const int32_t* col_idx,
   }
 }
 
-void AddAvx512(float* dst, const float* src, int64_t n) {
+ADPA_HOT void AddAvx512(float* dst, const float* src, int64_t n) {
   int64_t i = 0;
   for (; i + 16 <= n; i += 16) {
     _mm512_storeu_ps(
@@ -294,7 +295,7 @@ void AddAvx512(float* dst, const float* src, int64_t n) {
   for (; i < n; ++i) dst[i] += src[i];
 }
 
-void SubAvx512(float* dst, const float* src, int64_t n) {
+ADPA_HOT void SubAvx512(float* dst, const float* src, int64_t n) {
   int64_t i = 0;
   for (; i + 16 <= n; i += 16) {
     _mm512_storeu_ps(
@@ -304,7 +305,7 @@ void SubAvx512(float* dst, const float* src, int64_t n) {
   for (; i < n; ++i) dst[i] -= src[i];
 }
 
-void MulAvx512(float* dst, const float* src, int64_t n) {
+ADPA_HOT void MulAvx512(float* dst, const float* src, int64_t n) {
   int64_t i = 0;
   for (; i + 16 <= n; i += 16) {
     _mm512_storeu_ps(
@@ -314,7 +315,7 @@ void MulAvx512(float* dst, const float* src, int64_t n) {
   for (; i < n; ++i) dst[i] *= src[i];
 }
 
-void ScaleAvx512(float* dst, float factor, int64_t n) {
+ADPA_HOT void ScaleAvx512(float* dst, float factor, int64_t n) {
   const __m512 fv = _mm512_set1_ps(factor);
   int64_t i = 0;
   for (; i + 16 <= n; i += 16) {
@@ -323,11 +324,11 @@ void ScaleAvx512(float* dst, float factor, int64_t n) {
   for (; i < n; ++i) dst[i] *= factor;
 }
 
-void AxpyAvx512(float* dst, const float* src, float factor, int64_t n) {
+ADPA_HOT void AxpyAvx512(float* dst, const float* src, float factor, int64_t n) {
   AxpyRowF32(dst, src, factor, n);
 }
 
-void ScaleToAvx512(float* dst, const float* src, float factor, int64_t n) {
+ADPA_HOT void ScaleToAvx512(float* dst, const float* src, float factor, int64_t n) {
   const __m512 fv = _mm512_set1_ps(factor);
   int64_t i = 0;
   for (; i + 16 <= n; i += 16) {

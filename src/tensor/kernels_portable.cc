@@ -48,7 +48,7 @@ void GemmRowsPortable(const float* a, const double* ad, const float* b,
                       float* out) {
   (void)a;  // this level accumulates from the pre-widened operand
   std::vector<double>& slab_buf = SlabScratch();
-  slab_buf.resize(k * kGemmNr);
+  slab_buf.resize(k * kGemmNr);  // analyze:allow(alloc): thread_local slab capacity reuse
   double* slab = slab_buf.data();
   const int64_t num_slabs = (m + kGemmNr - 1) / kGemmNr;
   for (int64_t s = 0; s < num_slabs; ++s) {

@@ -88,7 +88,7 @@ void Matrix::Resize(int64_t rows, int64_t cols) {
   cols_ = cols;
   // assign() reuses existing capacity; growth beyond the high-water mark is
   // the only case that allocates.
-  data_.assign(static_cast<size_t>(rows * cols), 0.0f);
+  data_.assign(static_cast<size_t>(rows * cols), 0.0f);  // analyze:allow(alloc): capacity reuse
 }
 
 void Matrix::AddInPlace(const Matrix& other) {
@@ -212,7 +212,7 @@ std::vector<double>& WidenScratch() {
 // Pure per-element conversion, so trivially thread-count independent.
 const double* WidenToDouble(const float* src, int64_t count) {
   std::vector<double>& buf = WidenScratch();
-  buf.resize(count);
+  buf.resize(count);  // analyze:allow(alloc): thread_local widen scratch capacity reuse
   double* dst = buf.data();
   ParallelFor(0, count, kElementwiseGrain, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) dst[i] = src[i];

@@ -2,7 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
+#include <mutex>  // lint:allow(mutex-annotations) — std::call_once only, no locking
 
 #include "src/core/logging.h"
 #include "src/tensor/simd_kernels.h"

@@ -4,7 +4,9 @@ namespace adpa {
 
 Matrix* Workspace::Acquire(int64_t rows, int64_t cols) {
   if (next_ == slots_.size()) {
-    slots_.push_back(std::make_unique<Matrix>(rows, cols));
+    // Slot-pool growth: only the first pass at a new high-water shape
+    // allocates; Reset() rewinds without releasing capacity.
+    slots_.push_back(std::make_unique<Matrix>(rows, cols));  // analyze:allow(alloc): slot-pool growth
     return slots_[next_++].get();
   }
   Matrix* slot = slots_[next_++].get();

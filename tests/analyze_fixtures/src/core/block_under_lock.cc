@@ -1,0 +1,63 @@
+// Fixture (never compiled): blocking-under-lock coverage. File IO inside a
+// MutexLock scope or a Lock()/Unlock() span fires; CondVar::Wait fires
+// unless it is the body of a while/for predicate loop; lambda bodies
+// inherit the enclosing lock scope.
+#include <fstream>
+
+namespace fixture {
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+struct MutexLock {
+  explicit MutexLock(Mutex* mu);
+};
+struct CondVar {
+  void Wait(Mutex* mu);
+};
+
+struct Queue {
+  Mutex mu;
+  CondVar cv;
+  int depth = 0;  // analyze:allow(guard): fixture — protocol documented here
+};
+
+void BlockedRead(Queue* q) {
+  MutexLock lock(&q->mu);
+  std::ifstream in("state.bin");  // expect: blocking-under-lock (file IO)
+}
+
+void WaitNoLoop(Queue* q) {
+  MutexLock lock(&q->mu);
+  q->cv.Wait(&q->mu);  // expect: blocking-under-lock (Wait outside a loop)
+}
+
+void WaitInLoop(Queue* q) {
+  MutexLock lock(&q->mu);
+  while (q->depth == 0) q->cv.Wait(&q->mu);  // ok: predicate loop body
+}
+
+void WaitInBracedLoop(Queue* q) {
+  MutexLock lock(&q->mu);
+  while (q->depth == 0) {
+    q->cv.Wait(&q->mu);  // ok: enclosing block is a while loop
+  }
+}
+
+void ManualLockSpan(Queue* q) {
+  q->mu.Lock();
+  std::ifstream in("state.bin");  // expect: blocking-under-lock (Lock span)
+  q->mu.Unlock();
+  std::ifstream after("done.bin");  // ok: lock released above
+}
+
+void LambdaUnderLock(Queue* q) {
+  MutexLock lock(&q->mu);
+  auto read = [&] {
+    std::ifstream in("l.bin");  // expect: lambda inherits the lock scope
+  };
+  read();
+}
+
+}  // namespace fixture

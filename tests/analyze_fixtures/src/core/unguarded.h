@@ -1,0 +1,31 @@
+// Fixture (never compiled): guard-coverage. In a class that owns a Mutex,
+// every mutable member must be ADPA_GUARDED_BY, exempt by construction
+// (const / std::atomic / sync primitive), or carry analyze:allow(guard).
+// Exactly one member below (errors_) violates that.
+#pragma once
+#include <atomic>
+
+namespace fixture {
+
+struct Mutex {};
+struct CondVar {};
+
+class Counters {
+ public:
+  void Record();
+
+ private:
+  mutable Mutex mu_;
+  long requests_ ADPA_GUARDED_BY(mu_) = 0;  // ok: guarded
+  long errors_ = 0;                         // expect: guard-coverage
+  const long capacity_ = 64;                // ok: const
+  std::atomic<long> peak_ = 0;              // ok: atomic
+  long waived_ = 0;  // analyze:allow(guard): fixture protocol note
+  CondVar cv_;                              // ok: sync primitive
+};
+
+class NoMutex {
+  long free_counter_ = 0;  // ok: class owns no Mutex, rule does not apply
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture (never compiled): an allocation-free hot path produces no
+// findings — the analyzer must not flag plain arithmetic, calls into
+// alloc-free helpers, or loops.
+#include <vector>
+
+namespace fixture {
+
+float Dot(const float* a, const float* b, long n);
+
+ADPA_HOT float HotClean(const std::vector<float>& x) {
+  return Dot(x.data(), x.data(), static_cast<long>(x.size()));
+}
+
+float Dot(const float* a, const float* b, long n) {
+  double acc = 0.0;
+  for (long i = 0; i < n; ++i) acc += a[i] * b[i];
+  return static_cast<float>(acc);
+}
+
+}  // namespace fixture

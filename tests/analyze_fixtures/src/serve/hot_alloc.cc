@@ -1,0 +1,13 @@
+// Fixture (never compiled): direct allocations inside an ADPA_HOT function
+// must be reported by tools/analyze.py.
+#include <vector>
+
+namespace fixture {
+
+ADPA_HOT void HotDirect(std::vector<int>& v) {
+  v.push_back(1);       // expect: hot-alloc (container growth)
+  int* p = new int(3);  // expect: hot-alloc (operator new)
+  delete p;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture (never compiled): an allocation in a helper reached *through* a
+// call edge from an ADPA_HOT root must be reported, with the call chain
+// named in the message.
+#include <vector>
+
+namespace fixture {
+
+void Helper(std::vector<int>& v) {
+  v.resize(10);  // expect: hot-alloc via HotCaller -> Helper
+}
+
+ADPA_HOT void HotCaller(std::vector<int>& v) {
+  Helper(v);
+}
+
+}  // namespace fixture

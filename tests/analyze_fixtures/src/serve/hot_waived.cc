@@ -1,0 +1,31 @@
+// Fixture (never compiled): all three analyze:allow(alloc) placements —
+// on the allocation site, on a call site, and on a declaration (leaf
+// waiver) — must each suppress the hot-alloc report. Expect zero findings
+// from this file.
+#include <vector>
+
+namespace fixture {
+
+void LeafGrow(std::vector<int>& v);  // analyze:allow(alloc): decl-level leaf waiver
+
+void LeafGrow(std::vector<int>& v) {
+  v.push_back(1);  // unreported: LeafGrow is a waived leaf everywhere
+}
+
+void CallSiteGrow(std::vector<int>& v) {
+  v.reserve(32);  // unreported: the only call into this helper is waived
+}
+
+ADPA_HOT void HotSiteWaiver(std::vector<int>& v) {
+  v.push_back(2);  // analyze:allow(alloc): site waiver
+}
+
+ADPA_HOT void HotLeafWaiver(std::vector<int>& v) {
+  LeafGrow(v);
+}
+
+ADPA_HOT void HotCallSiteWaiver(std::vector<int>& v) {
+  CallSiteGrow(v);  // analyze:allow(alloc): call-site waiver
+}
+
+}  // namespace fixture

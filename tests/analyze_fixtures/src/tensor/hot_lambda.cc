@@ -1,0 +1,15 @@
+// Fixture (never compiled): a lambda body is lexically part of its
+// enclosing function, so an allocation inside a lambda defined in an
+// ADPA_HOT function must be attributed to that function and reported.
+#include <vector>
+
+namespace fixture {
+
+ADPA_HOT void HotLambda(std::vector<int>& v) {
+  auto add = [&v](int x) {
+    v.push_back(x);  // expect: hot-alloc attributed to HotLambda
+  };
+  add(7);
+}
+
+}  // namespace fixture

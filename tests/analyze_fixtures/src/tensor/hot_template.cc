@@ -1,0 +1,12 @@
+// Fixture (never compiled): ADPA_HOT on a templated function must still
+// register it as a hot root, and an allocation in its body must fire.
+#include <vector>
+
+namespace fixture {
+
+template <typename T>
+ADPA_HOT void HotTemplate(std::vector<T>& v, T value) {
+  v.emplace_back(value);  // expect: hot-alloc inside a template
+}
+
+}  // namespace fixture

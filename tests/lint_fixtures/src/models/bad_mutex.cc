@@ -1,0 +1,22 @@
+// Fixture: raw standard-library locking types outside src/core/mutex.h
+// must trip the mutex-annotations rule; the lint:allow escape hatch and
+// the annotated wrappers stay legal.
+#include <mutex>                // finding: raw <mutex> include
+#include <condition_variable>   // finding: raw <condition_variable> include
+
+namespace fixture {
+
+struct Queue {
+  std::mutex mu;                // finding: raw mutex member
+  std::condition_variable cv;   // finding: raw condition variable member
+  // lint:allow(mutex-annotations) — fixture: escape hatch must suppress
+  std::mutex waived;
+  int depth = 0;
+
+  void Push() {
+    std::lock_guard<std::mutex> lock(mu);  // finding: raw scoped lock
+    ++depth;
+  }
+};
+
+}  // namespace fixture

@@ -55,6 +55,15 @@ class LintRuleTest(unittest.TestCase):
                 if p == "src/models/bad_thread.cc"]
         self.assertEqual(len(hits), 2)  # the #include and the declaration
 
+    def test_mutex_annotations_fires_on_raw_locking_types(self):
+        rules = rules_for(self.findings, "src/models/bad_mutex.cc")
+        self.assertEqual(rules, ["mutex-annotations"])
+        hits = [line for p, line, r in self.findings
+                if p == "src/models/bad_mutex.cc"]
+        # Two raw includes, two raw members, and the lock_guard fire; the
+        # lint:allow'd std::mutex is suppressed.
+        self.assertEqual(len(hits), 5)
+
     def test_deterministic_randomness_fires_on_entropy_and_clock(self):
         hits = [(line, rule) for p, line, rule in self.findings
                 if p == "src/models/bad_random.cc"]

@@ -1,0 +1,693 @@
+#!/usr/bin/env python3
+"""adpa static concurrency & hot-path analyzer (DESIGN.md §13).
+
+Repo-specific whole-program checks that neither the compiler nor lint.py's
+line-regex rules can express — they need function bodies, a call graph, and
+lock scopes. Three rules (ids used by the `// analyze:allow(<id>)` escape
+hatch):
+
+  hot-alloc           Functions tagged ADPA_HOT (the serving ForwardRows /
+                      Classify path, the MicroBatcher pump, every
+                      kernels_*.cc entry point) must not *transitively*
+                      reach an allocation site — operator new, push_back/
+                      emplace_back/emplace, resize/reserve/insert/assign/
+                      append, make_unique/make_shared, std::to_string —
+                      without an `// analyze:allow(alloc)` waiver. This is
+                      what keeps the allocation-free-serving property (PR 6)
+                      structural instead of benchmark-luck.
+  blocking-under-lock No blocking while holding an adpa::Mutex: file IO
+                      (std::*fstream, getline, C stdio), sleeps (nanosleep,
+                      sleep_for, usleep), failpoint hits (ADPA_FAILPOINT*),
+                      or stream writes (std::cout/cerr) inside a MutexLock
+                      scope or a Lock()/Unlock() span. CondVar::Wait under
+                      the lock is legal only as the body of a while/for
+                      predicate loop (CondVar deliberately has no lambda
+                      predicate overload — see src/core/mutex.h).
+  guard-coverage      In any class that owns an adpa::Mutex, every mutable
+                      data member must be ADPA_GUARDED_BY / ADPA_PT_GUARDED_BY
+                      one of the class's mutexes, or be exempt by construction
+                      (const, static/constexpr, std::atomic, Mutex/CondVar/
+                      once_flag), or carry an `// analyze:allow(guard)`
+                      waiver explaining the protocol.
+
+Waiver placement (`// analyze:allow(<id>)[: reason]`):
+  * on the flagged line or the line directly above it — suppresses that
+    site (hot-alloc: the allocation; guard-coverage: the member);
+  * hot-alloc only, on a *call* line (or the line above) — the analyzer
+    does not traverse into that callee from this site;
+  * hot-alloc only, on a function *declaration* — the whole callee is
+    treated as an allocation-free leaf everywhere it is called.
+
+Frontends (`--frontend`):
+  internal (default)  A dependency-free C++ lexer: comments/strings/
+                      preprocessor lines are blanked, braces are matched
+                      into a scope tree, function definitions and their
+                      calls / allocation tokens / lock scopes are extracted
+                      textually. Name-based call-graph edges (last `::`
+                      component) make the reachability an over-approximation
+                      — by design: a false edge is a waiver, a missed one
+                      would be a hole.
+  libclang            The same model built from a real AST via the clang
+                      python bindings, using compile_commands.json for
+                      flags. Opt-in because libclang is not part of the
+                      base toolchain; CI runs the internal frontend.
+
+The TU list comes from --compdb (compile_commands.json, exported by CMake)
+when present, falling back to walking src/; headers under src/ are always
+included. Fixture trees (tests/analyze_fixtures/) are excluded from tree
+runs exactly like lint_fixtures.
+
+Usage:
+  tools/analyze.py --root REPO_ROOT [--compdb build/compile_commands.json]
+  tools/analyze.py --root R --files f1 f2 ...   # analyze specific files
+Exit status is 1 iff at least one finding survives suppression.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+ALLOW_RE = re.compile(r"//\s*analyze:allow\((alloc|blocking|guard)\)")
+
+EXCLUDED_PARTS = {".git", "analyze_fixtures", "lint_fixtures"}
+
+CXX_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "decltype", "catch", "throw", "new", "delete", "static_cast",
+    "dynamic_cast", "reinterpret_cast", "const_cast", "defined", "case",
+    "do", "else", "goto", "co_await", "co_return", "co_yield", "void",
+    "int", "bool", "float", "double", "char", "auto", "assert",
+    "static_assert", "noexcept", "alignas", "typeid", "requires",
+}
+
+ALLOC_TOKEN_RE = re.compile(
+    r"(?:[.\->]\s*(push_back|emplace_back|emplace|resize|reserve|insert|"
+    r"assign|append)\s*\()"
+    r"|(\bnew\b)"
+    r"|\b(make_unique|make_shared)\s*<"
+    r"|\b(to_string)\s*\(")
+
+BLOCKING_TOKEN_RE = re.compile(
+    r"\bstd::(?:i|o)?fstream\b|\bstd::c(?:out|err)\b"
+    r"|\b(?:fopen|fread|fwrite|fflush|fsync|getline|nanosleep|usleep)\s*\("
+    r"|\bsleep_for\s*\(|\bADPA_FAILPOINT\w*\s*\(")
+
+CALL_RE = re.compile(r"([A-Za-z_]\w*)\s*\(")
+MUTEX_LOCK_RE = re.compile(r"\bMutexLock\s+\w+\s*\(")
+MANUAL_LOCK_RE = re.compile(r"[.\->]\s*Lock\s*\(\s*\)")
+MANUAL_UNLOCK_RE = re.compile(r"[.\->]\s*Unlock\s*\(\s*\)")
+CV_WAIT_RE = re.compile(r"[.\->]\s*Wait\s*\(")
+
+CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:ADPA_\w+\s*(?:\([^()]*\))?\s*)*([\w:]+)")
+GUARDED_RE = re.compile(r"\bADPA_(?:PT_)?GUARDED_BY\s*\(")
+MEMBER_EXEMPT_RE = re.compile(
+    r"\bconst\b|\bconstexpr\b|\bstatic\b|\bstd::atomic\b"
+    r"|(?<!std::)\bMutex\b|\bCondVar\b|\bonce_flag\b|\bfriend\b"
+    r"|\busing\b|\btypedef\b")
+HAS_MUTEX_MEMBER_RE = re.compile(r"(?:^|[^:\w])Mutex\s+\w+")
+ADPA_MACRO_CALL_RE = re.compile(r"\bADPA_\w+\s*\([^()]*\)")
+
+
+class Finding:
+    def __init__(self, rel_path, lineno, rule_id, message):
+        self.rel_path = rel_path
+        self.lineno = lineno
+        self.rule_id = rule_id
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (
+            self.rel_path, self.lineno, self.rule_id, self.message)
+
+
+class FunctionDef:
+    """One textual function definition: its calls, allocation sites, and
+    blocking-under-lock findings (computed during the scan, since lock
+    scopes are lexical)."""
+
+    def __init__(self, name, rel_path, lineno, hot, leaf_waived):
+        self.name = name
+        self.rel_path = rel_path
+        self.lineno = lineno
+        self.hot = hot
+        self.leaf_waived = leaf_waived
+        self.calls = []       # (callee_name, lineno, waived)
+        self.allocs = []      # (token, lineno, waived)
+        self.blocking = []    # Finding
+
+
+class SourceModel:
+    """Whole-tree model shared by both frontends."""
+
+    def __init__(self):
+        self.functions = {}   # name -> [FunctionDef]
+        self.hot_names = set()
+        self.leaf_names = set()   # decl-level alloc waivers
+        self.findings = []        # guard/blocking findings
+
+    def add_function(self, fn):
+        self.functions.setdefault(fn.name, []).append(fn)
+        if fn.hot:
+            self.hot_names.add(fn.name)
+        if fn.leaf_waived:
+            self.leaf_names.add(fn.name)
+
+
+def blank_code(text):
+    """Blanks comments, string/char literals, and preprocessor directives,
+    preserving every character position (newlines stay put) so line numbers
+    and brace offsets survive."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    line_start = True
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if line_start and c == "#":
+                state = "preproc"
+                out.append(" ")
+            elif c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 1
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 1
+            elif c == '"':
+                state = "string"
+                out.append('"')
+            elif c == "'":
+                state = "char"
+                out.append("'")
+            else:
+                out.append(c)
+        elif state == "preproc":
+            if c == "\n":
+                # A trailing backslash continues the directive.
+                j = len(out) - 1
+                while j >= 0 and out[j] in " \t":
+                    j -= 1
+                out.append("\n")
+                if not (text[i - 1] == "\\" or
+                        (i >= 2 and text[i - 2] == "\\" and
+                         text[i - 1] == "\r")):
+                    state = "code"
+                i += 1
+                line_start = True
+                continue
+            out.append(" ")
+        elif state == "line_comment":
+            if c == "\n":
+                out.append("\n")
+                state = "code"
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                out.append("  ")
+                i += 1
+                state = "code"
+            else:
+                out.append("\n" if c == "\n" else " ")
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 1
+            elif c == '"':
+                out.append('"')
+                state = "code"
+            else:
+                out.append("\n" if c == "\n" else " ")
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 1
+            elif c == "'":
+                out.append("'")
+                state = "code"
+            else:
+                out.append(" ")
+        if c == "\n":
+            line_start = True
+        elif c not in " \t":
+            line_start = False
+        i += 1
+    return "".join(out)
+
+
+def waiver_at(raw_lines, lineno, waiver_id):
+    """True if `// analyze:allow(<id>)` covers `lineno` (that line or the
+    one directly above)."""
+    for cand in (lineno, lineno - 1):
+        if 1 <= cand <= len(raw_lines):
+            for m in ALLOW_RE.finditer(raw_lines[cand - 1]):
+                if m.group(1) == waiver_id:
+                    return True
+    return False
+
+
+def paren_depth_zero_eq(header):
+    """True if the header contains a top-level `=` (so the brace opens an
+    initializer list, not a body). `operator==`-style names are masked
+    first."""
+    header = re.sub(r"operator\s*\S{1,3}", "OP", header)
+    depth = 0
+    for c in header:
+        if c in "(<[":
+            depth += 1
+        elif c in ")>]":
+            depth = max(0, depth - 1)
+        elif c == "=" and depth == 0:
+            return True
+    return False
+
+
+class Scope:
+    def __init__(self, kind, header, lineno, name=None):
+        self.kind = kind          # function|class|namespace|block|other
+        self.header = header
+        self.lineno = lineno
+        self.name = name
+        self.fn = None            # FunctionDef for kind == function
+        self.locked = False       # blocking-under-lock state
+        self.members = []         # (text, lineno) for kind == class
+
+
+def classify_header(header, in_function):
+    """Returns (kind, name) for the scope a `{` opens."""
+    stripped = header.strip()
+    if in_function:
+        return ("block", None)
+    m = CLASS_HEAD_RE.search(stripped)
+    if m and not paren_depth_zero_eq(stripped):
+        return ("class", m.group(1).split("::")[-1])
+    if re.search(r"\bnamespace\b", stripped):
+        return ("namespace", None)
+    if re.search(r"\b(?:enum|union)\b", stripped):
+        return ("other", None)
+    if paren_depth_zero_eq(stripped):
+        return ("other", None)
+    m = CALL_RE.search(stripped)
+    if m and m.group(1) not in CXX_KEYWORDS:
+        return ("function", m.group(1).split("::")[-1])
+    return ("other", None)
+
+
+def header_is_hot(header):
+    return "ADPA_HOT" in header
+
+
+def scan_declarations(model, rel_path, code_lines, raw_lines):
+    """Collects ADPA_HOT roots and decl-level alloc waivers from
+    declarations (statements ending in `;`, so they never open a scope and
+    the definition walk cannot see them)."""
+    for idx, line in enumerate(code_lines):
+        lineno = idx + 1
+        is_hot_decl = "ADPA_HOT" in line
+        is_leaf_decl = waiver_at(raw_lines, lineno, "alloc") and \
+            line.strip().endswith(";")
+        if not (is_hot_decl or is_leaf_decl):
+            continue
+        m = CALL_RE.search(line)
+        if not m or m.group(1) in CXX_KEYWORDS:
+            continue
+        name = m.group(1).split("::")[-1]
+        if is_hot_decl:
+            model.hot_names.add(name)
+        if is_leaf_decl and line.strip().endswith(";"):
+            model.leaf_names.add(name)
+
+
+def check_member(model, rel_path, raw_lines, class_name, text, lineno):
+    """guard-coverage for one member declaration of a mutex-owning class.
+
+    `lineno` is the first line of the statement, which may open with blanked
+    comment lines; the waiver may sit on any spanned line or directly above,
+    and the finding anchors to the last code line (the declaration itself).
+    """
+    span_lines = text.split("\n")
+    code_offsets = [k for k, part in enumerate(span_lines) if part.strip()]
+    decl_line = lineno + (code_offsets[-1] if code_offsets else 0)
+    if any(waiver_at(raw_lines, lineno + k, "guard")
+           for k in range(len(span_lines))):
+        return
+    text = re.sub(r"\b(?:public|private|protected)\s*:", " ", text)
+    stripped = text.strip()
+    if not stripped:
+        return
+    without_macros = ADPA_MACRO_CALL_RE.sub(" ", stripped)
+    if "(" in without_macros:       # method / ctor declaration
+        return
+    if "=" in without_macros.split("ADPA_")[0] and \
+            not re.search(r"\w\s+\w", without_macros.split("=")[0].strip()):
+        return                      # enum-style constant, not a member
+    if not re.search(r"[\w>&*\]]\s+[A-Za-z_]\w*\s*(?:=.*)?$",
+                     without_macros.rstrip(";").rstrip()):
+        return                      # not `type name [= init]`
+    if GUARDED_RE.search(stripped):
+        return
+    if MEMBER_EXEMPT_RE.search(without_macros):
+        return
+    member = re.search(r"([A-Za-z_]\w*)\s*(?:=[^=].*)?$",
+                       without_macros.rstrip(";").rstrip())
+    member_name = member.group(1) if member else "?"
+    model.findings.append(Finding(
+        rel_path, decl_line, "guard-coverage",
+        "member '%s' of mutex-owning class %s has no ADPA_GUARDED_BY and is "
+        "not const/atomic; annotate it, or waive with analyze:allow(guard) "
+        "stating the protocol" % (member_name, class_name)))
+
+
+def scan_file_internal(model, root, rel_path):
+    path = os.path.join(root, rel_path)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as err:
+        model.findings.append(Finding(rel_path, 1, "io-error", str(err)))
+        return
+    raw_lines = text.splitlines()
+    code = blank_code(text)
+    code_lines = code.splitlines()
+    scan_declarations(model, rel_path, code_lines, raw_lines)
+
+    stack = []
+    paren_depth = 0
+    boundary = 0          # start of the current statement/header
+    lineno = 1
+    i, n = 0, len(code)
+
+    def innermost_function():
+        for scope in reversed(stack):
+            if scope.kind == "function":
+                return scope
+        return None
+
+    def in_locked_region():
+        for scope in reversed(stack):
+            if scope.locked:
+                return True
+            if scope.kind == "function":
+                break
+        return False
+
+    def wait_in_loop(stmt_prefix):
+        if re.search(r"\b(?:while|for)\s*\(", stmt_prefix):
+            return True
+        for scope in reversed(stack):
+            if scope.kind == "function":
+                break
+            if scope.kind == "block" and \
+                    re.search(r"\b(?:while|for)\s*\(", scope.header):
+                return True
+        return False
+
+    def flush_statement(end):
+        """Handles one completed statement inside a function or class."""
+        stmt = code[boundary:end]
+        if not stmt.strip():
+            return
+        stmt_line = lineno - stmt.count("\n")
+        fn = innermost_function()
+        if fn is not None:
+            scan_statement(fn, stmt, stmt_line)
+        elif stack and stack[-1].kind == "class":
+            stack[-1].members.append((stmt, stmt_line))
+
+    def scan_statement(fn_scope, stmt, stmt_line):
+        fn = fn_scope.fn
+        for off_line, part in enumerate(stmt.split("\n")):
+            at = stmt_line + off_line
+            for m in ALLOC_TOKEN_RE.finditer(part):
+                token = next(g for g in m.groups() if g)
+                fn.allocs.append((token, at, waiver_at(raw_lines, at,
+                                                      "alloc")))
+            for m in CALL_RE.finditer(part):
+                name = m.group(1)
+                if name in CXX_KEYWORDS or name.startswith("ADPA_"):
+                    continue
+                fn.calls.append((name.split("::")[-1], at,
+                                 waiver_at(raw_lines, at, "alloc")))
+            if MUTEX_LOCK_RE.search(part) or MANUAL_LOCK_RE.search(part):
+                for scope in reversed(stack):
+                    scope.locked = True
+                    break
+            if MANUAL_UNLOCK_RE.search(part):
+                for scope in reversed(stack):
+                    if scope.locked:
+                        scope.locked = False
+                        break
+                    if scope.kind == "function":
+                        break
+            if in_locked_region():
+                bm = BLOCKING_TOKEN_RE.search(part)
+                if bm and not waiver_at(raw_lines, at, "blocking"):
+                    fn.blocking.append(Finding(
+                        rel_path, at, "blocking-under-lock",
+                        "'%s' while holding an adpa::Mutex in %s(); move it "
+                        "outside the lock scope or waive with "
+                        "analyze:allow(blocking)" % (
+                            bm.group(0).strip(), fn.name)))
+                wm = CV_WAIT_RE.search(part)
+                if wm and not wait_in_loop(part[:wm.start()]) and \
+                        not waiver_at(raw_lines, at, "blocking"):
+                    fn.blocking.append(Finding(
+                        rel_path, at, "blocking-under-lock",
+                        "CondVar Wait() in %s() is not the body of a "
+                        "while/for predicate loop; spurious wakeups will "
+                        "break the invariant" % fn.name))
+
+    while i < n:
+        c = code[i]
+        if c == "\n":
+            lineno += 1
+        elif c == "(":
+            paren_depth += 1
+        elif c == ")":
+            paren_depth = max(0, paren_depth - 1)
+        elif c == ";" and paren_depth == 0:
+            flush_statement(i)
+            boundary = i + 1
+        elif c == "{" and paren_depth == 0:
+            header = code[boundary:i]
+            header_line = lineno - header.count("\n")
+            fn_scope = innermost_function()
+            kind, name = classify_header(header, fn_scope is not None)
+            scope = Scope(kind, header, header_line, name)
+            if kind == "function":
+                fn = FunctionDef(
+                    name, rel_path, header_line, header_is_hot(header),
+                    any(waiver_at(raw_lines, header_line + k, "alloc")
+                        for k in range(header.count("\n") + 1)))
+                scope.fn = fn
+                model.add_function(fn)
+            elif kind == "block" and fn_scope is not None:
+                # The block header (e.g. `while (...) cond` prefix) may
+                # itself contain calls/allocs — attribute them now.
+                scan_statement(fn_scope, header, header_line)
+                scope.fn = fn_scope.fn
+            stack.append(scope)
+            boundary = i + 1
+        elif c == "}" and paren_depth == 0:
+            flush_statement(i)
+            if stack:
+                closing = stack.pop()
+                if closing.kind == "class" and closing.name:
+                    members_text = " ".join(t for t, _ in closing.members)
+                    if HAS_MUTEX_MEMBER_RE.search(members_text):
+                        for text_, line_ in closing.members:
+                            check_member(model, rel_path, raw_lines,
+                                         closing.name, text_, line_)
+            boundary = i + 1
+        i += 1
+
+
+def scan_tree_libclang(model, root, rel_paths, compdb):
+    """AST frontend over the clang python bindings (opt-in)."""
+    try:
+        from clang import cindex  # noqa: deferred, optional dependency
+    except ImportError:
+        sys.exit("analyze: --frontend=libclang requires the clang python "
+                 "bindings (python3-clang + libclang); the base toolchain "
+                 "does not ship them — use --frontend=internal")
+    index = cindex.Index.create()
+    args_by_file = {}
+    if compdb and os.path.exists(compdb):
+        with open(compdb, encoding="utf-8") as f:
+            for entry in json.load(f):
+                rel = os.path.relpath(
+                    os.path.join(entry["directory"], entry["file"]), root)
+                flags = [a for a in entry.get("command", "").split()[1:]
+                         if not a.endswith(".o") and a not in ("-c", "-o")]
+                args_by_file[rel.replace(os.sep, "/")] = flags
+    for rel_path in rel_paths:
+        if not rel_path.endswith(".cc"):
+            continue
+        raw_lines = open(os.path.join(root, rel_path), encoding="utf-8",
+                         errors="replace").read().splitlines()
+        tu = index.parse(
+            os.path.join(root, rel_path),
+            args=args_by_file.get(rel_path.replace(os.sep, "/"),
+                                  ["-std=c++17", "-I", root]))
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind not in (cindex.CursorKind.FUNCTION_DECL,
+                                   cindex.CursorKind.CXX_METHOD):
+                continue
+            if not cursor.is_definition():
+                continue
+            hot = any(ch.kind == cindex.CursorKind.ANNOTATE_ATTR and
+                      ch.spelling == "adpa_hot"
+                      for ch in cursor.get_children())
+            fn = FunctionDef(cursor.spelling, rel_path,
+                             cursor.location.line, hot, False)
+            for node in cursor.walk_preorder():
+                line = node.location.line
+                if node.kind == cindex.CursorKind.CXX_NEW_EXPR:
+                    fn.allocs.append(("new", line,
+                                      waiver_at(raw_lines, line, "alloc")))
+                elif node.kind == cindex.CursorKind.CALL_EXPR:
+                    callee = node.spelling or ""
+                    if ALLOC_TOKEN_RE.search("." + callee + "("):
+                        fn.allocs.append(
+                            (callee, line,
+                             waiver_at(raw_lines, line, "alloc")))
+                    elif callee:
+                        fn.calls.append(
+                            (callee, line,
+                             waiver_at(raw_lines, line, "alloc")))
+            model.add_function(fn)
+
+
+def report_hot_alloc(model):
+    """BFS from every ADPA_HOT root over name-matched call edges."""
+    findings = []
+    visited = set()
+    parent = {}
+    queue = sorted(model.hot_names)
+    for name in queue:
+        visited.add(name)
+    while queue:
+        name = queue.pop(0)
+        for fn in model.functions.get(name, []):
+            for token, lineno, waived in fn.allocs:
+                if waived:
+                    continue
+                chain = [name]
+                while chain[-1] in parent:
+                    chain.append(parent[chain[-1]])
+                findings.append(Finding(
+                    fn.rel_path, lineno, "hot-alloc",
+                    "allocation '%s' reachable from hot entry point %s() "
+                    "(via %s); reuse capacity or waive with "
+                    "analyze:allow(alloc)" % (
+                        token, chain[-1], " <- ".join(chain))))
+            for callee, _, call_waived in fn.calls:
+                if call_waived or callee in model.leaf_names:
+                    continue
+                if callee in visited or callee not in model.functions:
+                    continue
+                visited.add(callee)
+                parent[callee] = name
+                queue.append(callee)
+    return findings
+
+
+def collect_findings(model):
+    findings = list(model.findings)
+    for defs in model.functions.values():
+        for fn in defs:
+            findings.extend(fn.blocking)
+    findings.extend(report_hot_alloc(model))
+    return findings
+
+
+def is_excluded(rel_path):
+    parts = rel_path.split(os.sep)
+    if any(part in EXCLUDED_PARTS for part in parts):
+        return True
+    return any(part.startswith("build") for part in parts)
+
+
+def collect_files(root, compdb):
+    """TU list from compile_commands.json when available, plus every header
+    (and, as fallback, every source) under src/."""
+    rel_paths = set()
+    if compdb and os.path.exists(compdb):
+        try:
+            with open(compdb, encoding="utf-8") as f:
+                for entry in json.load(f):
+                    path = os.path.join(entry["directory"], entry["file"])
+                    rel = os.path.relpath(os.path.abspath(path), root)
+                    norm = rel.replace(os.sep, "/")
+                    if norm.startswith("src/") and not is_excluded(rel):
+                        rel_paths.add(rel)
+        except (OSError, ValueError, KeyError) as err:
+            print("analyze: ignoring unreadable compdb %s (%s)"
+                  % (compdb, err))
+    # Headers are always scanned (inline bodies, annotations, ADPA_HOT
+    # declarations live there); sources come from the compdb when it listed
+    # any, otherwise from the walk — so a stale or empty export can only
+    # widen coverage, never silently shrink it.
+    have_compdb_tus = any(p.endswith(".cc") for p in rel_paths)
+    src_dir = os.path.join(root, "src")
+    for dirpath, dirnames, filenames in os.walk(src_dir):
+        dirnames[:] = [d for d in dirnames if not is_excluded(
+            os.path.relpath(os.path.join(dirpath, d), root))]
+        for fname in sorted(filenames):
+            if fname.endswith(".h") or (fname.endswith(".cc")
+                                        and not have_compdb_tus):
+                rel = os.path.relpath(os.path.join(dirpath, fname), root)
+                if not is_excluded(rel):
+                    rel_paths.add(rel)
+    return sorted(rel_paths)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--compdb", default=None,
+                        help="compile_commands.json for the TU list "
+                             "(and libclang flags)")
+    parser.add_argument("--frontend", choices=("internal", "libclang"),
+                        default="internal")
+    parser.add_argument("--files", nargs="*", default=None,
+                        help="analyze only these paths (relative to --root); "
+                             "exclusion filters are bypassed")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    if args.files is not None:
+        rel_paths = [os.path.relpath(os.path.abspath(p), root)
+                     if os.path.isabs(p) else p for p in args.files]
+    else:
+        rel_paths = collect_files(root, args.compdb)
+
+    model = SourceModel()
+    if args.frontend == "libclang":
+        scan_tree_libclang(model, root, rel_paths, args.compdb)
+    else:
+        for rel_path in rel_paths:
+            scan_file_internal(model, root, rel_path)
+
+    findings = collect_findings(model)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print("analyze: %d finding(s) in %d file(s)" % (
+            len(findings), len({f.rel_path for f in findings})))
+        return 1
+    print("analyze: OK (%d files, %d functions, %d hot roots)" % (
+        len(rel_paths), sum(len(d) for d in model.functions.values()),
+        len(model.hot_names)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,14 @@ Rules (ids used by the `// lint:allow(<rule>)` escape hatch):
   parallel-primitives      std::thread / std::jthread / std::async / OpenMP
                            are forbidden in src/ outside src/core/parallel.*;
                            build on ParallelFor instead.
+  mutex-annotations        raw std::mutex / std::condition_variable /
+                           std::lock_guard / std::unique_lock / ... are
+                           forbidden in src/; lock through the annotated
+                           adpa::Mutex / MutexLock / CondVar wrappers
+                           (src/core/mutex.h) so Clang Thread Safety
+                           Analysis sees every acquire/release. The wrapper
+                           header itself carries per-line lint:allow
+                           waivers; std::call_once/once_flag stay legal.
   deterministic-randomness std::random_device, rand()/srand(), <random>
                            engines, wall-clock reads (*_clock::now, time())
                            are forbidden in src/ outside src/core/random.*;
@@ -74,8 +82,8 @@ import sys
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z0-9-]+)\)")
 
 # Directories never linted: build trees, VCS metadata, and the rule-violation
-# fixtures exercised by tests/lint_test.py.
-EXCLUDED_PARTS = {".git", "lint_fixtures"}
+# fixtures exercised by tests/lint_test.py and tests/analyze_test.py.
+EXCLUDED_PARTS = {".git", "lint_fixtures", "analyze_fixtures"}
 
 
 def is_excluded(rel_path):
@@ -145,6 +153,21 @@ RULES = [
         ],
         scopes=CXX_SOURCE_SCOPES,
         exempt=("src/core/parallel.h", "src/core/parallel.cc"),
+    ),
+    Rule(
+        "mutex-annotations",
+        "raw standard-library locking type in src/; use the annotated "
+        "adpa::Mutex / MutexLock / CondVar (src/core/mutex.h) so Clang "
+        "Thread Safety Analysis can prove every guarded access holds the "
+        "lock",
+        [
+            r"\bstd::(?:mutex|recursive_mutex|timed_mutex|"
+            r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
+            r"condition_variable(?:_any)?|lock_guard|unique_lock|"
+            r"scoped_lock|shared_lock)\b",
+            r"#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>",
+        ],
+        scopes=CXX_SOURCE_SCOPES,
     ),
     Rule(
         "deterministic-randomness",
