@@ -29,7 +29,9 @@ class ADPA_CAPABILITY("mutex") Mutex {
 
   void Lock() ADPA_ACQUIRE() { mu_.lock(); }          // lint:allow(mutex-annotations)
   void Unlock() ADPA_RELEASE() { mu_.unlock(); }      // lint:allow(mutex-annotations)
-  bool TryLock() ADPA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  // Discarding TryLock's result would leak the lock on success; [[nodiscard]]
+  // is spelled directly (not ADPA_NODISCARD) to keep mutex.h status.h-free.
+  [[nodiscard]] bool TryLock() ADPA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
  private:
   friend class CondVar;

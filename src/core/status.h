@@ -3,6 +3,14 @@
 #include <utility>
 #include <variant>
 
+/// Marks a type or function whose return value must be consumed. Dropping a
+/// `Status` on the floor silently swallows the error path hostile input is
+/// designed to hit, so `Status` and `Result<T>` carry this class-wide: every
+/// call site must assign, return, branch on, or ADPA_CHECK_OK the value —
+/// the compiler enforces what tools/analyze.py's `unchecked-status` rule
+/// audits. Spelled as a macro so annotation-hostile toolchains can blank it.
+#define ADPA_NODISCARD [[nodiscard]]
+
 namespace adpa {
 
 /// Error categories used across the library. The public API does not throw;
@@ -22,7 +30,7 @@ enum class StatusCode {
 };
 
 /// A lightweight success-or-error value. Cheap to copy in the OK case.
-class Status {
+class ADPA_NODISCARD Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -65,7 +73,7 @@ class Status {
 /// Either a value of type T or an error Status. Modeled after
 /// `arrow::Result` / `absl::StatusOr` but dependency-free.
 template <typename T>
-class Result {
+class ADPA_NODISCARD Result {
  public:
   /// Implicit construction from a value or a non-OK Status keeps call sites
   /// terse (`return value;` / `return Status::InvalidArgument(...);`).

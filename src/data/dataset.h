@@ -26,7 +26,7 @@ struct Dataset {
 
   /// Structural validation: shapes agree, labels in range, splits disjoint
   /// and in range. Returns the first violation found.
-  Status Validate() const;
+  ADPA_NODISCARD Status Validate() const;
 
   /// Copy of this dataset with the graph replaced by its undirected
   /// transformation (features/labels/splits shared structure unchanged).

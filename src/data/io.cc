@@ -98,6 +98,9 @@ Result<Dataset> LoadDatasetFromStream(std::istream& in,
   if (f > limits.max_features) {
     return Malformed("feature dim exceeds limit");
   }
+  if (dataset.num_classes > limits.max_classes) {
+    return Malformed("class count exceeds limit");
+  }
   if (f > 0 && n > limits.max_feature_entries / f) {
     return Malformed("feature matrix exceeds entry limit");
   }

@@ -38,6 +38,11 @@ struct DatasetLimits {
   int64_t max_features = 1'000'000;
   /// Bounds the dense feature allocation (nodes * features).
   int64_t max_feature_entries = 2'000'000'000;
+  /// Bounds label-count-shaped allocations downstream: every model sizes
+  /// its classifier head and logits as (hidden | nodes) × num_classes, so
+  /// a hostile `classes` header field is an allocation bomb even when the
+  /// labels themselves are in range.
+  int64_t max_classes = 1 << 20;
 };
 
 /// Serializes `dataset` to `path`. Fails on I/O errors.

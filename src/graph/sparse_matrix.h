@@ -47,18 +47,16 @@ class SparseMatrix {
   /// fuzzed parsers): returns InvalidArgument instead of aborting. The
   /// validation order is hostile-input safe — row_ptr bounds are fully
   /// established before any col_idx entry is dereferenced.
-  static Result<SparseMatrix> TryFromCsr(int64_t rows, int64_t cols,
-                                         std::vector<int64_t> row_ptr,
-                                         std::vector<int32_t> col_idx,
-                                         std::vector<float> values);
+  ADPA_NODISCARD static Result<SparseMatrix> TryFromCsr(
+      int64_t rows, int64_t cols, std::vector<int64_t> row_ptr,
+      std::vector<int32_t> col_idx, std::vector<float> values);
 
   /// The single source of truth for CSR well-formedness, shared by
   /// FromCsr/TryFromCsr/CheckInvariants. OK iff the arrays form a valid
   /// rows x cols CSR matrix.
-  static Status ValidateCsr(int64_t rows, int64_t cols,
-                            const std::vector<int64_t>& row_ptr,
-                            const std::vector<int32_t>& col_idx,
-                            const std::vector<float>& values);
+  ADPA_NODISCARD static Status ValidateCsr(
+      int64_t rows, int64_t cols, const std::vector<int64_t>& row_ptr,
+      const std::vector<int32_t>& col_idx, const std::vector<float>& values);
 
   /// Identity of size n.
   static SparseMatrix Identity(int64_t n);

@@ -101,7 +101,8 @@ void WriteModelConfig(BinaryWriter* w, const ModelConfig& c) {
   w->WriteU8(c.propagation_self_loops ? 1 : 0);
 }
 
-Status ReadModelConfig(BinaryReader* r, ModelConfig* c) {
+Status ReadModelConfig(BinaryReader* r, const CheckpointLimits& limits,
+                       ModelConfig* c) {
   uint8_t dp_attention = 0, use_dp = 0, use_hop = 0, residual = 0,
           self_loops = 0;
   ADPA_RETURN_IF_ERROR(r->ReadI64(&c->hidden));
@@ -118,6 +119,27 @@ Status ReadModelConfig(BinaryReader* r, ModelConfig* c) {
   ADPA_RETURN_IF_ERROR(r->ReadU8(&residual));
   ADPA_RETURN_IF_ERROR(r->ReadI32(&c->select_patterns));
   ADPA_RETURN_IF_ERROR(r->ReadU8(&self_loops));
+  // Magnitude bounds, enforced at the read boundary: these fields size
+  // allocations everywhere downstream (classifier stacks, per-step blocks,
+  // hidden-dim weight matrices), and a consumer-side std::max(1, ...) only
+  // clamps from below.
+  if (c->hidden < 0 || c->hidden > limits.max_hidden_dim) {
+    return Malformed(kCheckpointKind, "hidden dimension exceeds limit");
+  }
+  if (c->num_layers < 0 || c->num_layers > limits.max_model_layers) {
+    return Malformed(kCheckpointKind, "layer count exceeds limit");
+  }
+  if (c->propagation_steps < 0 ||
+      c->propagation_steps > limits.max_propagation_steps) {
+    return Malformed(kCheckpointKind, "propagation step count exceeds limit");
+  }
+  if (c->pattern_order < 0 || c->pattern_order > limits.max_pattern_order) {
+    return Malformed(kCheckpointKind, "pattern order exceeds limit");
+  }
+  if (c->select_patterns < 0 ||
+      c->select_patterns > limits.max_select_patterns) {
+    return Malformed(kCheckpointKind, "selected pattern count exceeds limit");
+  }
   if (dp_attention > static_cast<uint8_t>(DpAttention::kJk)) {
     return Malformed(kCheckpointKind, "dp_attention enum out of range");
   }
@@ -331,7 +353,8 @@ Result<Checkpoint> TryLoadCheckpointFromStream(std::istream& in,
   ADPA_RETURN_IF_ERROR(
       reader.ReadString(&checkpoint.dataset_name, limits.max_name_bytes));
   ADPA_RETURN_IF_ERROR(reader.ReadU64(&checkpoint.dataset_hash));
-  ADPA_RETURN_IF_ERROR(ReadModelConfig(&reader, &checkpoint.model_config));
+  ADPA_RETURN_IF_ERROR(
+      ReadModelConfig(&reader, limits, &checkpoint.model_config));
   ADPA_RETURN_IF_ERROR(ReadTrainConfig(&reader, &checkpoint.train_config));
   ADPA_RETURN_IF_ERROR(
       ReadPatterns(&reader, kCheckpointKind, limits, &checkpoint.patterns));

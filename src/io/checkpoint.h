@@ -54,6 +54,17 @@ struct CheckpointLimits {
   uint32_t max_pattern_length = 64;
   uint32_t max_cache_blocks = 4096;  ///< steps × blocks_per_step ceiling
   uint32_t max_curve_points = 1u << 20;  ///< per training-curve vector (v2)
+  // ModelConfig magnitude ceilings. A checkpoint's hyperparameters size
+  // downstream allocations (hidden × classes weight matrices, per-layer
+  // session buffers, per-step propagation blocks), so a hostile header
+  // must not be able to smuggle a 10^9 layer count past the reader; the
+  // fields are bounded where they enter the process, not where they are
+  // eventually multiplied into a buffer shape.
+  int64_t max_hidden_dim = 1 << 16;      ///< ModelConfig::hidden
+  int32_t max_model_layers = 1024;       ///< ModelConfig::num_layers
+  int32_t max_propagation_steps = 4096;  ///< ModelConfig::propagation_steps
+  int32_t max_pattern_order = 64;        ///< ModelConfig::pattern_order
+  int32_t max_select_patterns = 1 << 16;  ///< ModelConfig::select_patterns
 };
 
 /// One named float32 tensor (a model parameter in `Parameters()` order).
@@ -109,9 +120,9 @@ Status SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path);
 
 /// Never aborts on malformed input; every violation — bad magic, version
 /// skew, truncation, CRC mismatch, limit breaches — is a non-OK Status.
-Result<Checkpoint> TryLoadCheckpointFromStream(
+ADPA_NODISCARD Result<Checkpoint> TryLoadCheckpointFromStream(
     std::istream& in, const CheckpointLimits& limits = {});
-Result<Checkpoint> TryLoadCheckpoint(const std::string& path,
+ADPA_NODISCARD Result<Checkpoint> TryLoadCheckpoint(const std::string& path,
                                      const CheckpointLimits& limits = {});
 
 /// Content fingerprints (FNV-1a 64) for checkpoint/cache validation.
@@ -172,9 +183,9 @@ Status SavePropagationCacheToStream(const PropagationCache& cache,
                                     std::ostream& out);
 Status SavePropagationCache(const PropagationCache& cache,
                             const std::string& path);
-Result<PropagationCache> TryLoadPropagationCacheFromStream(
+ADPA_NODISCARD Result<PropagationCache> TryLoadPropagationCacheFromStream(
     std::istream& in, const CheckpointLimits& limits = {});
-Result<PropagationCache> TryLoadPropagationCache(
+ADPA_NODISCARD Result<PropagationCache> TryLoadPropagationCache(
     const std::string& path, const CheckpointLimits& limits = {});
 
 }  // namespace adpa

@@ -13,6 +13,7 @@ struct MicroBatcher::Ticket::State {
 
 Result<std::vector<int64_t>> MicroBatcher::Ticket::Wait() {
   MutexLock lock(&state_->mu);
+  // analyze:allow(unchecked-status): CondVar::Wait is void, name-collides with Ticket::Wait
   while (!state_->done) state_->cv.Wait(&state_->mu);
   return *state_->result;
 }
@@ -77,6 +78,7 @@ bool MicroBatcher::PumpOnce() {
   std::vector<Request> shed;
   {
     MutexLock lock(&mu_);
+    // analyze:allow(unchecked-status): CondVar::Wait is void, name-collides with Ticket::Wait
     while (!shutdown_ && queue_.empty()) cv_.Wait(&mu_);
     if (queue_.empty()) return false;  // shut down and fully drained
     // lint:allow(deterministic-randomness) — deadline check, not results

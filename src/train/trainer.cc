@@ -104,6 +104,7 @@ Result<TrainResult> TrainModelResumable(Model* model, const Dataset& dataset,
     adam_state.first_moment = std::move(state.adam_first_moment);
     adam_state.second_moment = std::move(state.adam_second_moment);
     ADPA_RETURN_IF_ERROR(optimizer.RestoreState(std::move(adam_state)));
+    // analyze:allow(unchecked-status): Rng::RestoreState is void, name-collides with AdamOptimizer's
     rng->RestoreState(state.rng);
     start_epoch = state.next_epoch;
     epochs_since_best = state.epochs_since_best;

@@ -1,0 +1,36 @@
+// Fixture (never compiled): verbatim reproduction of the PR 4 propagation
+// cache allocation bomb. Both counts come straight off the wire and the
+// only bound check multiplies them — `per_step == 0` zeroes the product and
+// forges the comparison for ANY `steps`, and large factors forge it via
+// wrap-around — so the resize loop still allocates unbounded. Expect one
+// tainted-multiply finding on the check plus a finding per sink.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct CacheLimits {
+  uint32_t max_cache_blocks = 4096;
+};
+
+struct BinaryReader {
+  bool ReadU32(uint32_t* value);
+};
+
+bool LoadCacheBomb(BinaryReader& reader, const CacheLimits& limits,
+                   std::vector<std::vector<int>>* blocks) {
+  uint32_t steps = 0;
+  uint32_t per_step = 0;
+  if (!reader.ReadU32(&steps)) return false;
+  if (!reader.ReadU32(&per_step)) return false;
+  // Product-only check: reported as an untrusted multiply, and it bounds
+  // neither factor, so the sinks below stay tainted.
+  if (steps * per_step > limits.max_cache_blocks) return false;
+  blocks->resize(steps);
+  for (uint32_t l = 0; l < steps; ++l) {
+    (*blocks)[l].resize(per_step);
+  }
+  return true;
+}
+
+}  // namespace fixture

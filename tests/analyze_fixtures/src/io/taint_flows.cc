@@ -1,0 +1,61 @@
+// Fixture (never compiled): untrusted sizes must be tracked through every
+// propagation edge the dataflow pass claims to handle — a local copy, a
+// call argument, a return value, a struct member, and a stream extraction —
+// and each chain ends in an unchecked allocation that must be reported.
+#include <cstdint>
+#include <istream>
+#include <vector>
+
+namespace fixture {
+
+struct BinaryReader {
+  bool ReadU32(uint32_t* value);
+  bool ReadI64(int64_t* value);
+};
+
+struct Header {
+  int64_t count = 0;
+};
+
+void SinkParam(std::vector<int>* out, uint32_t n) {
+  out->resize(n);  // reported: every caller passes a wire-read count
+}
+
+void FlowThroughParam(BinaryReader& reader, std::vector<int>* out) {
+  uint32_t n = 0;
+  reader.ReadU32(&n);
+  SinkParam(out, n);
+}
+
+int64_t ReadCount(BinaryReader& reader) {
+  int64_t n = 0;
+  reader.ReadI64(&n);
+  return n;
+}
+
+void FlowThroughReturnAndLocal(BinaryReader& reader, std::vector<int>* out) {
+  int64_t n = ReadCount(reader);
+  int64_t copy = n;
+  out->reserve(copy);  // reported: taint survives the return and the copy
+}
+
+void FlowThroughMember(BinaryReader& reader, std::vector<int>* out) {
+  Header header;
+  reader.ReadI64(&header.count);
+  out->assign(header.count, 0);  // reported: member-granular taint
+}
+
+void FlowFromStream(std::istream& in, std::vector<int>* out) {
+  int64_t n = 0;
+  in >> n;
+  out->resize(n);  // reported: stream extraction is a source
+}
+
+void FlowIntoArrayNew(BinaryReader& reader) {
+  int64_t rows = 0;
+  reader.ReadI64(&rows);
+  int* buffer = new int[rows];  // reported: new[] count is a sink
+  delete[] buffer;
+}
+
+}  // namespace fixture

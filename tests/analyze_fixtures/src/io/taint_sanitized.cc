@@ -1,0 +1,82 @@
+// Fixture (never compiled): every untrusted count here is bounded before
+// its allocation — by an if-comparison against a named limit, a CHECK
+// macro, a consumed Validate call, an equality pin, a std::min clamp at
+// the sink, and the divide-the-limit product guard (the corrected PR 4
+// shape). The analyzer must stay silent on this entire file.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct CacheLimits {
+  uint32_t max_entries = 4096;
+  uint32_t max_cache_blocks = 4096;
+  uint32_t expected_entries = 16;
+};
+
+struct BinaryReader {
+  bool ReadU32(uint32_t* value);
+};
+
+bool ValidateCount(uint32_t n);
+
+bool ComparisonBounded(BinaryReader& reader, const CacheLimits& limits,
+                       std::vector<int>* out) {
+  uint32_t n = 0;
+  if (!reader.ReadU32(&n)) return false;
+  if (n > limits.max_entries) return false;
+  out->resize(n);
+  return true;
+}
+
+bool CheckMacroBounded(BinaryReader& reader, const CacheLimits& limits,
+                       std::vector<int>* out) {
+  uint32_t n = 0;
+  reader.ReadU32(&n);
+  ADPA_CHECK_LE(n, limits.max_entries);
+  out->resize(n);
+  return true;
+}
+
+bool ValidateCallBounded(BinaryReader& reader, std::vector<int>* out) {
+  uint32_t n = 0;
+  reader.ReadU32(&n);
+  if (!ValidateCount(n)) return false;
+  out->resize(n);
+  return true;
+}
+
+bool EqualityPinned(BinaryReader& reader, const CacheLimits& limits,
+                    std::vector<int>* out) {
+  uint32_t n = 0;
+  reader.ReadU32(&n);
+  if (n == limits.expected_entries) out->resize(n);
+  return true;
+}
+
+bool ClampedAtSink(BinaryReader& reader, std::vector<int>* out) {
+  uint32_t n = 0;
+  reader.ReadU32(&n);
+  out->reserve(std::min<uint32_t>(n, 1024));
+  return true;
+}
+
+bool ProductBoundedByDivision(BinaryReader& reader, const CacheLimits& limits,
+                              std::vector<std::vector<int>>* blocks) {
+  uint32_t steps = 0;
+  uint32_t per_step = 0;
+  reader.ReadU32(&steps);
+  reader.ReadU32(&per_step);
+  if (steps > limits.max_cache_blocks ||
+      (per_step != 0 && steps > limits.max_cache_blocks / per_step)) {
+    return false;
+  }
+  blocks->resize(steps);
+  for (uint32_t l = 0; l < steps; ++l) {
+    (*blocks)[l].resize(per_step);
+  }
+  return true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Fixture (never compiled): all three analyze:allow(untrusted-size)
+// placements — on the sink, on the call site that would export the taint,
+// and on the definition header (trusting the whole function) — must each
+// suppress the report. Expect zero findings from this file.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct BinaryReader {
+  bool ReadU32(uint32_t* value);
+};
+
+void SiteWaived(BinaryReader& reader, std::vector<int>* out) {
+  uint32_t n = 0;
+  reader.ReadU32(&n);
+  // analyze:allow(untrusted-size): capped upstream by the frame size
+  out->resize(n);
+}
+
+void TrustedSink(std::vector<int>* out, uint32_t n) {
+  out->resize(n);  // unreported: the only tainting call site is waived
+}
+
+void CallSiteWaived(BinaryReader& reader, std::vector<int>* out) {
+  uint32_t n = 0;
+  reader.ReadU32(&n);
+  // analyze:allow(untrusted-size): n is re-validated inside
+  TrustedSink(out, n);
+}
+
+// analyze:allow(untrusted-size): sizes are re-checked by the arena below
+void DeclWaived(BinaryReader& reader, std::vector<int>* out) {
+  uint32_t n = 0;
+  reader.ReadU32(&n);
+  out->resize(n);  // unreported: the definition header is waived
+}
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// Fixture (never compiled): every call to a Status/Result-returning
+// function must consume the value. The bare discard and the (void)-cast
+// discard are reported; assignment, return, branching, macro operands,
+// member-chained consumption, and both waiver placements stay silent.
+#include <cstdint>
+
+namespace fixture {
+
+struct Status {
+  bool ok() const;
+  static Status OK();
+};
+
+Status Flush();
+Result<int> CountRows();
+
+// analyze:allow(unchecked-status): best-effort metrics emission
+Status BestEffortNotify();
+
+Status BareDiscards() {
+  Flush();        // reported: value dropped on the floor
+  (void)CountRows();  // reported: (void)-cast is not consumption
+  return Status::OK();
+}
+
+Status ProperConsumption() {
+  Status st = Flush();                 // assigned
+  if (!Flush().ok()) return st;        // branched on, member-chained
+  ADPA_CHECK_OK(Flush());              // macro operand
+  ADPA_RETURN_IF_ERROR(Flush());       // macro operand
+  return Flush();                      // returned
+}
+
+void DeclWaivedDiscard() {
+  BestEffortNotify();  // unreported: waived at the declaration
+}
+
+void SiteWaivedDiscard() {
+  // analyze:allow(unchecked-status): shutdown path, errors already logged
+  Flush();
+}
+
+}  // namespace fixture

@@ -113,6 +113,95 @@ class AnalyzeRuleTest(unittest.TestCase):
     def test_clean_hot_path_has_no_findings(self):
         self.assertEqual(hits_for(self.findings, "src/models/clean.cc"), [])
 
+    # --- untrusted-size -----------------------------------------------------
+
+    def test_taint_bomb_multiply_and_both_sinks_fire(self):
+        # The PR 4 propagation-cache shape: a product-only bound check is
+        # itself a finding, and it bounds neither factor, so both resizes
+        # fire too.
+        hits = hits_for(self.findings, "src/io/taint_bomb.cc")
+        self.assertEqual({rule for _, rule, _ in hits}, {"untrusted-size"})
+        self.assertEqual(len(hits), 3)
+        multiply = [msg for _, _, msg in hits if "multiplies" in msg]
+        self.assertEqual(len(multiply), 1)
+        self.assertIn("steps * per_step", multiply[0])
+        sinks = [msg for _, _, msg in hits if "reaches resize()" in msg]
+        self.assertEqual(len(sinks), 2)
+        self.assertTrue(any("'steps'" in msg for msg in sinks))
+        self.assertTrue(any("'per_step'" in msg for msg in sinks))
+
+    def test_taint_flows_through_call_argument(self):
+        # Taint read in the caller reaches the sink inside the callee via
+        # the interprocedural parameter entry.
+        hits = hits_for(self.findings, "src/io/taint_flows.cc")
+        self.assertEqual({rule for _, rule, _ in hits}, {"untrusted-size"})
+        param = [msg for _, _, msg in hits if "SinkParam" in msg]
+        self.assertEqual(len(param), 1)
+        self.assertIn("binary Read*", param[0])
+
+    def test_taint_flows_through_return_and_local_copy(self):
+        hits = hits_for(self.findings, "src/io/taint_flows.cc")
+        ret = [msg for _, _, msg in hits
+               if "FlowThroughReturnAndLocal" in msg]
+        self.assertEqual(len(ret), 1)
+        # The reported path is the local copy, the origin the wire read
+        # inside the callee the value returned from.
+        self.assertIn("'copy'", ret[0])
+        self.assertIn("reaches reserve()", ret[0])
+
+    def test_taint_flows_through_struct_member(self):
+        hits = hits_for(self.findings, "src/io/taint_flows.cc")
+        member = [msg for _, _, msg in hits if "FlowThroughMember" in msg]
+        self.assertEqual(len(member), 1)
+        self.assertIn("'header.count'", member[0])
+
+    def test_stream_extraction_is_a_source(self):
+        hits = hits_for(self.findings, "src/io/taint_flows.cc")
+        stream = [msg for _, _, msg in hits if "FlowFromStream" in msg]
+        self.assertEqual(len(stream), 1)
+        self.assertIn("stream >>", stream[0])
+
+    def test_array_new_is_a_sink(self):
+        hits = hits_for(self.findings, "src/io/taint_flows.cc")
+        arr = [msg for _, _, msg in hits if "FlowIntoArrayNew" in msg]
+        self.assertEqual(len(arr), 1)
+        self.assertIn("new[]", arr[0])
+
+    def test_sanitized_flows_are_silent(self):
+        # Comparison against a named limit, CHECK macro, consumed Validate
+        # call, equality pin, min-clamp at the sink, and the
+        # divide-the-limit product guard each bound their count.
+        self.assertEqual(
+            hits_for(self.findings, "src/io/taint_sanitized.cc"), [])
+
+    def test_taint_waiver_placements_suppress(self):
+        # Site, call-site, and definition-header waivers all silence the
+        # report.
+        self.assertEqual(
+            hits_for(self.findings, "src/io/taint_waived.cc"), [])
+
+    # --- unchecked-status ---------------------------------------------------
+
+    def test_bare_and_void_cast_discards_fire(self):
+        hits = hits_for(self.findings, "src/serve/unchecked_status.cc")
+        self.assertEqual({rule for _, rule, _ in hits},
+                         {"unchecked-status"})
+        self.assertEqual(len(hits), 2)
+        flagged = {fn for _, _, msg in hits
+                   for fn in ("Flush", "CountRows") if fn + "()" in msg}
+        self.assertEqual(flagged, {"Flush", "CountRows"})
+        self.assertTrue(all("BareDiscards" in msg for _, _, msg in hits))
+
+    def test_status_consumption_forms_and_waivers_are_silent(self):
+        # Assignment, return, branch, macro operands, member chaining, the
+        # declaration waiver, and the site waiver all consume or excuse the
+        # value — only the two BareDiscards lines fire in this file.
+        hits = hits_for(self.findings, "src/serve/unchecked_status.cc")
+        all_msgs = " ".join(msg for _, _, msg in hits)
+        for silent_fn in ("ProperConsumption", "DeclWaivedDiscard",
+                          "SiteWaivedDiscard"):
+            self.assertNotIn(silent_fn, all_msgs)
+
 
 class AnalyzeInvocationTest(unittest.TestCase):
     def test_explicit_file_list_restricts_the_run(self):
