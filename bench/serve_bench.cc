@@ -124,7 +124,8 @@ int Main(int argc, char** argv) {
 #else
   const char* build_type = "debug";
 #endif
-  std::printf("{\n  \"bench\": \"serve\",\n  \"build_type\": \"%s\",\n"
+  std::printf("{\n  \"bench\": \"serve\",\n  \"transport\": \"in_process\",\n"
+              "  \"build_type\": \"%s\",\n"
               "  \"simd_level\": \"%s\",\n  \"dataset\": \"%s\",\n"
               "  \"nodes\": %lld,\n  \"requests\": %d,\n"
               "  \"nodes_per_request\": %d,\n  \"burst\": %d,\n"

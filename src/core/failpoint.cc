@@ -29,6 +29,13 @@ std::vector<std::pair<std::string, std::string>> Catalog() {
        "InferenceSession::Create, before the propagation cache read"},
       {"serve.cache.write",
        "InferenceSession::Create, before the propagation cache rewrite"},
+      {"net.accept", "net::AcceptConnection, before the accept syscall"},
+      {"net.read", "net::ReadSome, before the recv syscall"},
+      {"net.read.short", "net::ReadSome, caps the read at 1 byte"},
+      {"net.write", "net::WriteSome, before the send syscall"},
+      {"net.write.short", "net::WriteSome, caps the write at 1 byte"},
+      {"net.reload.load",
+       "SessionRegistry::Reload, before the checkpoint read"},
   };
 }
 

@@ -1,0 +1,75 @@
+#include "src/net/framing.h"
+
+namespace adpa::net {
+
+void LineFramer::Append(const char* data, size_t size) {
+  if (oversized_) return;  // stream already condemned; don't buy memory
+  buffer_.append(data, size);
+  // The cap is checked lazily in NextLine so that a chunk carrying
+  // "short\nHUGE..." still yields the short line before the oversized latch
+  // fires — byte-at-a-time and whole-chunk delivery must agree.
+}
+
+LineFramer::Next LineFramer::NextLine(std::string* line) {
+  if (oversized_) return Next::kOversized;
+  if (scanned_ < consumed_) scanned_ = consumed_;
+  const size_t newline = buffer_.find('\n', scanned_);
+  if (newline == std::string::npos) {
+    scanned_ = buffer_.size();
+    // A trailing '\r' may be the first half of a CRLF terminator whose
+    // '\n' is still in flight; it would be stripped, so it must not count
+    // against the cap — otherwise a line of exactly max_line_bytes ending
+    // in "\r\n" would latch or not depending on where the read-chunk
+    // boundary fell (found by fuzz_framing's chunked-replay comparison).
+    size_t pending = buffer_.size() - consumed_;
+    if (pending > 0 && buffer_.back() == '\r') --pending;
+    if (pending > max_line_bytes_) {
+      oversized_ = true;
+      buffer_.clear();
+      consumed_ = scanned_ = 0;
+      return Next::kOversized;
+    }
+    Compact();
+    return Next::kNeedMore;
+  }
+  size_t end = newline;
+  if (end > consumed_ && buffer_[end - 1] == '\r') --end;  // CRLF
+  if (end - consumed_ > max_line_bytes_) {
+    oversized_ = true;
+    buffer_.clear();
+    consumed_ = scanned_ = 0;
+    return Next::kOversized;
+  }
+  line->assign(buffer_, consumed_, end - consumed_);
+  consumed_ = newline + 1;
+  scanned_ = consumed_;
+  Compact();
+  return Next::kLine;
+}
+
+bool LineFramer::TakeRemainder(std::string* line) {
+  if (oversized_ || consumed_ >= buffer_.size()) return false;
+  size_t end = buffer_.size();
+  if (end > consumed_ && buffer_[end - 1] == '\r') --end;
+  if (end <= consumed_) {
+    buffer_.clear();
+    consumed_ = scanned_ = 0;
+    return false;
+  }
+  line->assign(buffer_, consumed_, end - consumed_);
+  buffer_.clear();
+  consumed_ = scanned_ = 0;
+  return true;
+}
+
+void LineFramer::Compact() {
+  // Amortized: only shift when at least half (and a real amount) of the
+  // buffer is dead prefix, so each byte is moved O(1) times overall.
+  if (consumed_ >= 4096 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    scanned_ -= consumed_;
+    consumed_ = 0;
+  }
+}
+
+}  // namespace adpa::net

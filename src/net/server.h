@@ -1,0 +1,167 @@
+#pragma once
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/core/status.h"
+#include "src/net/framing.h"
+#include "src/net/socket.h"
+#include "src/serve/batcher.h"
+#include "src/serve/hot_swap.h"
+#include "src/serve/metrics.h"
+
+namespace adpa::net {
+
+struct ServerOptions {
+  /// Bind address. Port 0 picks an ephemeral port; read it back from
+  /// Server::port() (the harness and tests depend on this).
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  /// Per-connection line cap; a longer line is answered with a framing
+  /// error and the connection is closed (LineFramer latches — see
+  /// src/net/framing.h for why resync is unsafe).
+  size_t max_line_bytes = LineFramer::kDefaultMaxLineBytes;
+  /// Per-connection reply backlog cap; a client that stops reading while
+  /// replies accumulate past this is dropped (bounded memory under
+  /// slow-consumer abuse).
+  size_t max_write_buffer_bytes = 4u << 20;
+  /// Accepted-connection ceiling; extra connects are closed immediately.
+  int64_t max_connections = 1024;
+
+  /// Queue-full reject and deadline-shed semantics are the batcher's
+  /// (DESIGN.md §10 degradation matrix) — they apply per request exactly as
+  /// in stdin mode.
+  serve::MicroBatcher::Options batcher;
+
+  /// When false, {"reload": ...} admin requests are answered with an error
+  /// instead of swapping checkpoints.
+  bool allow_reload = true;
+};
+
+/// Counters the single-threaded event loop keeps outside ServeMetrics
+/// (which tracks requests; these track connections). Read them after
+/// Serve() returns, or from the loop thread.
+struct ServerStats {
+  uint64_t accepted = 0;
+  uint64_t closed_by_peer = 0;       ///< clean EOF from the client
+  uint64_t dropped = 0;              ///< oversized line / write-buffer cap
+  uint64_t io_errors = 0;            ///< read/write/accept syscall failures
+  uint64_t over_capacity = 0;        ///< connects refused at max_connections
+  uint64_t reloads = 0;              ///< successful checkpoint swaps
+  uint64_t reload_failures = 0;      ///< rejected swaps (old session kept)
+};
+
+/// epoll-based multi-client JSONL inference server (DESIGN.md §14).
+///
+/// One thread runs Serve(): it owns every socket, the LineFramer per
+/// connection, and the batcher pump, so the network layer needs no locks at
+/// all — concurrency lives in the kernel (epoll) and in the ParallelFor
+/// worker pool under each coalesced forward. Clients connect over TCP,
+/// write one JSONL request per line, and read one reply line per request,
+/// in order, per connection. Requests from concurrently readable
+/// connections coalesce into shared batches through the existing
+/// MicroBatcher, keeping its queue-full reject and deadline-shed semantics
+/// per request.
+///
+/// Admin: {"reload": "path"} loads the checkpoint and atomically swaps it
+/// into the SessionRegistry; queries already received ahead of the reload
+/// are answered by the old session before the swap (the pump is flushed
+/// first), so every connection sees a clean old→new reply boundary.
+///
+/// Shutdown: RequestStop() (or a signal handler writing 'T' to wake_fd())
+/// stops accepting, answers everything already received, flushes every
+/// write buffer, and returns from Serve(). RequestReload() / 'H' re-reads
+/// the last loaded checkpoint path (the SIGHUP convention).
+class Server {
+ public:
+  /// `registry` and `metrics` must outlive the server; `metrics` may be
+  /// null. The registry may be empty (no session yet) — queries are then
+  /// answered with a structured error until a reload succeeds.
+  static Result<std::unique_ptr<Server>> Create(
+      const ServerOptions& options, serve::SessionRegistry* registry,
+      serve::ServeMetrics* metrics);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (== options.port unless that was 0).
+  uint16_t port() const { return port_; }
+
+  /// Write end of the self-pipe. Async-signal-safe wakeups: write a single
+  /// byte 'T' (drain and stop) or 'H' (reload current checkpoint path).
+  int wake_fd() const { return wake_writer_.get(); }
+
+  /// Thread-safe wakeups for tests and embedders (write to the self-pipe).
+  void RequestStop() const;
+  void RequestReload() const;
+
+  /// Serves until a stop request, then drains: stops accepting, answers
+  /// every request already received, flushes replies (bounded by a 5 s
+  /// drain budget per loop exit), closes all connections. Only
+  /// environmental failures (epoll itself breaking) return non-OK;
+  /// per-connection errors are counted in stats() and survived.
+  ADPA_NODISCARD Status Serve();
+
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  struct PendingReply {
+    bool has_ticket = false;
+    int64_t id = 0;
+    serve::MicroBatcher::Ticket ticket;
+    std::string immediate;  ///< pre-formatted reply (errors, reload acks)
+  };
+
+  struct Connection {
+    Connection(FdOwner socket, size_t max_line_bytes)
+        : fd(std::move(socket)), framer(max_line_bytes) {}
+
+    FdOwner fd;
+    LineFramer framer;
+    std::deque<PendingReply> pending;  ///< replies owed, in request order
+    std::string out;                   ///< bytes owed to the socket
+    size_t out_offset = 0;
+    bool peer_eof = false;           ///< no more requests; close once idle
+    bool close_after_flush = false;  ///< condemned (oversized line)
+    bool dead = false;               ///< close at end of loop iteration
+    uint32_t interest = 0;           ///< epoll event mask currently armed
+  };
+
+  Server(const ServerOptions& options, serve::SessionRegistry* registry,
+         serve::ServeMetrics* metrics);
+
+  Status SetupSockets();
+  void HandleWake();
+  void HandleAccept();
+  void HandleReadable(int fd);
+  void ProcessLines(Connection* conn);
+  void HandleLine(Connection* conn, const std::string& line);
+  void PumpQueue();
+  void ResolvePending(Connection* conn);
+  void FlushWrites(Connection* conn);
+  void UpdateInterest(Connection* conn);
+  void CollectFinished();
+  void StartDrain();
+
+  const ServerOptions options_;
+  serve::SessionRegistry* const registry_;
+  serve::MicroBatcher batcher_;
+
+  ListenSocket listener_;
+  uint16_t port_ = 0;
+  FdOwner epoll_;
+  FdOwner wake_reader_;
+  FdOwner wake_writer_;
+
+  std::map<int, std::unique_ptr<Connection>> connections_;
+  bool draining_ = false;
+  std::chrono::steady_clock::time_point drain_deadline_;
+  ServerStats stats_;
+};
+
+}  // namespace adpa::net

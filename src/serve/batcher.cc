@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/serve/hot_swap.h"
+
 namespace adpa::serve {
 
 struct MicroBatcher::Ticket::State {
@@ -24,7 +26,17 @@ MicroBatcher::MicroBatcher(const InferenceSession* session,
 
 MicroBatcher::MicroBatcher(const InferenceSession* session,
                            ServeMetrics* metrics, Options options)
-    : session_(session), metrics_(metrics), options_(options) {}
+    : session_(session),
+      registry_(nullptr),
+      metrics_(metrics),
+      options_(options) {}
+
+MicroBatcher::MicroBatcher(const SessionRegistry& registry,
+                           ServeMetrics* metrics, Options options)
+    : session_(nullptr),
+      registry_(&registry),
+      metrics_(metrics),
+      options_(options) {}
 
 MicroBatcher::Ticket MicroBatcher::Submit(std::vector<int64_t> nodes,
                                           int64_t deadline_ms) {
@@ -119,6 +131,24 @@ bool MicroBatcher::PumpOnce() {
   }
   if (batch.empty()) return true;  // everything pending was shed
 
+  // Resolve and pin the serving session for this whole batch: with a
+  // registry, a hot checkpoint swap landing mid-forward cannot release the
+  // model under us — the shared_ptr keeps the old session alive until every
+  // reply of this batch is delivered.
+  std::shared_ptr<const InferenceSession> pinned;
+  const InferenceSession* session = session_;
+  if (registry_ != nullptr) {
+    pinned = registry_->Current();
+    session = pinned.get();
+  }
+  if (session == nullptr) {
+    for (Request& request : batch) {
+      Deliver(&request, Status::FailedPrecondition(
+                            "no model is loaded yet; reload a checkpoint"));
+    }
+    return true;
+  }
+
   std::vector<int64_t> merged;
   for (const Request& request : batch) {
     merged.insert(merged.end(), request.nodes.begin(), request.nodes.end());  // analyze:allow(alloc): coalesced id list, bounded by max_batch_nodes
@@ -126,7 +156,7 @@ bool MicroBatcher::PumpOnce() {
   if (metrics_ != nullptr) {
     metrics_->RecordBatch(static_cast<int64_t>(batch.size()));
   }
-  Result<std::vector<int64_t>> all = session_->Classify(merged);
+  Result<std::vector<int64_t>> all = session->Classify(merged);
   size_t offset = 0;
   for (Request& request : batch) {
     if (all.ok()) {
@@ -138,7 +168,7 @@ bool MicroBatcher::PumpOnce() {
     } else {
       // One malformed request must not poison its batch mates: fall back
       // to answering each request on its own so errors stay per-request.
-      Deliver(&request, session_->Classify(request.nodes));
+      Deliver(&request, session->Classify(request.nodes));
     }
   }
   return true;

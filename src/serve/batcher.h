@@ -14,6 +14,8 @@
 
 namespace adpa::serve {
 
+class SessionRegistry;
+
 /// Micro-batching request queue in front of an InferenceSession.
 ///
 /// Concurrent clients call `Submit` (thread-safe, returns a Ticket) and
@@ -58,6 +60,14 @@ class MicroBatcher {
   MicroBatcher(const InferenceSession* session, ServeMetrics* metrics,
                Options options);
 
+  /// Hot-swap form: each pump resolves the serving session through
+  /// `registry` at batch-formation time and pins it (shared_ptr) for the
+  /// whole batch — an in-flight batch finishes on the session it started
+  /// with even if a reload flips the registry mid-forward. `registry` must
+  /// outlive the batcher.
+  MicroBatcher(const SessionRegistry& registry, ServeMetrics* metrics,
+               Options options);
+
   /// Enqueues a request. Thread-safe. After Shutdown, tickets resolve to
   /// FailedPrecondition instead of being silently dropped; against a full
   /// queue they resolve to kUnavailable. `deadline_ms` > 0 bounds the queue
@@ -88,9 +98,11 @@ class MicroBatcher {
   void Deliver(Request* request, Result<std::vector<int64_t>> result)
       ADPA_EXCLUDES(mu_);
 
-  /// Session/metrics/options are set at construction and never reassigned;
-  /// const-ness is what makes their lock-free reads provably safe.
+  /// Session/registry/metrics/options are set at construction and never
+  /// reassigned; const-ness is what makes their lock-free reads provably
+  /// safe. Exactly one of session_/registry_ is non-null.
   const InferenceSession* const session_;
+  const SessionRegistry* const registry_;
   ServeMetrics* const metrics_;
   const Options options_;
 

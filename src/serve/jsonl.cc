@@ -67,6 +67,32 @@ struct Parser {
     ++pos;  // closing quote
     return Status::OK();
   }
+
+  /// Restricted string value (the reload path): no escape processing — a
+  /// backslash is rejected outright, which keeps the grammar auditable and
+  /// makes round-tripping trivial. Bounded so a hostile line cannot grow an
+  /// arbitrarily large path string.
+  Status ParseString(std::string* out, size_t max_bytes) {
+    if (!Consume('"')) return Malformed("expected '\"' to open a string");
+    const size_t start = pos;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\') {
+        return Malformed("escape sequences are not supported in strings");
+      }
+      if (static_cast<unsigned char>(text[pos]) < 0x20) {
+        return Malformed("raw control character in string");
+      }
+      if (pos - start >= max_bytes) {
+        return Malformed("string exceeds " + std::to_string(max_bytes) +
+                         " bytes");
+      }
+      ++pos;
+    }
+    if (pos >= text.size()) return Malformed("unterminated string");
+    *out = text.substr(start, pos - start);
+    ++pos;  // closing quote
+    return Status::OK();
+  }
 };
 
 }  // namespace
@@ -77,6 +103,7 @@ Result<ServeRequest> ParseRequestLine(const std::string& line,
   if (!parser.Consume('{')) return Malformed("expected '{'");
   ServeRequest request;
   bool saw_id = false, saw_nodes = false, saw_deadline = false;
+  bool saw_reload = false;
   while (true) {
     std::string key;
     ADPA_RETURN_IF_ERROR(parser.ParseKey(&key));
@@ -103,6 +130,14 @@ Result<ServeRequest> ParseRequestLine(const std::string& line,
         }
       }
       saw_nodes = true;
+    } else if (key == "reload") {
+      if (saw_reload) return Malformed("duplicate \"reload\"");
+      ADPA_RETURN_IF_ERROR(parser.ParseString(&request.reload_path, 4096));
+      if (request.reload_path.empty()) {
+        return Malformed("reload path must be non-empty");
+      }
+      request.is_reload = true;
+      saw_reload = true;
     } else if (key == "deadline_ms") {
       if (saw_deadline) return Malformed("duplicate \"deadline_ms\"");
       ADPA_RETURN_IF_ERROR(parser.ParseInt(&request.deadline_ms));
@@ -119,6 +154,13 @@ Result<ServeRequest> ParseRequestLine(const std::string& line,
   parser.SkipSpace();
   if (parser.pos != line.size()) {
     return Malformed("trailing characters after '}'");
+  }
+  if (saw_reload) {
+    // Admin shape: reload stands alone (id optional, defaulting to 0).
+    if (saw_nodes || saw_deadline) {
+      return Malformed("\"reload\" cannot be combined with a query");
+    }
+    return request;
   }
   if (!saw_id) return Malformed("missing \"id\"");
   if (!saw_nodes) return Malformed("missing \"nodes\"");
@@ -145,6 +187,13 @@ std::string FormatOverloadedReply(int64_t id, const std::string& detail) {
   return "{\"id\":" + std::to_string(id) +
          ",\"error\":\"overloaded\",\"detail\":\"" +
          EscapeJsonString(detail) + "\"}";
+}
+
+std::string FormatReloadReply(int64_t id, const std::string& path,
+                              int64_t generation) {
+  return "{\"id\":" + std::to_string(id) + ",\"reloaded\":\"" +
+         EscapeJsonString(path) + "\",\"generation\":" +
+         std::to_string(generation) + "}";
 }
 
 std::string EscapeJsonString(const std::string& text) {

@@ -7,8 +7,9 @@
 
 namespace adpa::serve {
 
-/// One JSON-lines inference request:
-/// {"id": 7, "nodes": [0, 12, 3], "deadline_ms": 50}.
+/// One JSON-lines serving request. Two shapes share the schema:
+///   query:  {"id": 7, "nodes": [0, 12, 3], "deadline_ms": 50}
+///   admin:  {"id": 7, "reload": "/path/to/model.ckpt"}   (id optional)
 struct ServeRequest {
   int64_t id = 0;
   std::vector<int64_t> nodes;
@@ -17,14 +18,22 @@ struct ServeRequest {
   /// stale. 0 (the default, and the value when the key is absent) means no
   /// deadline.
   int64_t deadline_ms = 0;
+  /// Admin hot-swap request: non-empty `reload_path` (with is_reload set)
+  /// asks the server to load this checkpoint and atomically swap it in.
+  /// Mutually exclusive with nodes/deadline_ms.
+  bool is_reload = false;
+  std::string reload_path;
 };
 
 /// Parses exactly the serving request schema — an object with an integer
 /// "id", an integer array "nodes", and an optional non-negative integer
-/// "deadline_ms", in any order, nothing else. Hand-rolled on purpose: no
+/// "deadline_ms" (or, for the admin shape, a string "reload" with an
+/// optional "id"), in any order, nothing else. Hand-rolled on purpose: no
 /// JSON dependency, hostile input comes back as a Status (never a crash),
 /// and the restricted grammar keeps the parser auditable. Limits:
-/// `max_nodes` bounds the array before it is built.
+/// `max_nodes` bounds the array before it is built; the reload path is a
+/// plain string with no escape processing (backslashes are rejected) capped
+/// at 4096 bytes.
 Result<ServeRequest> ParseRequestLine(const std::string& line,
                                       uint64_t max_nodes = 1u << 20);
 
@@ -38,6 +47,11 @@ std::string FormatErrorReply(int64_t id, const std::string& message);
 /// {"id":7,"error":"overloaded","detail":"..."} — the structured shape
 /// clients match on to retry with backoff (queue full or deadline shed).
 std::string FormatOverloadedReply(int64_t id, const std::string& detail);
+
+/// {"id":7,"reloaded":"/path","generation":2} — the admin hot-swap ack;
+/// `generation` is the registry's monotone swap counter.
+std::string FormatReloadReply(int64_t id, const std::string& path,
+                              int64_t generation);
 
 /// Escapes backslash, double quote, and control characters (\uXXXX).
 std::string EscapeJsonString(const std::string& text);

@@ -1,0 +1,20 @@
+// Fixture: raw socket syscalls outside src/net/ must trip socket-isolation.
+#include <sys/socket.h>
+
+#include <cstdint>
+
+namespace adpa {
+
+int OpenRawListener(uint16_t port) {
+  (void)port;
+  int fd = socket(2 /*AF_INET*/, 1 /*SOCK_STREAM*/, 0);
+  if (fd < 0) return -1;
+  if (::listen(fd, 16) != 0) return -1;
+  // Suppressed: the escape hatch must silence the rule.
+  (void)shutdown(fd, 2);  // lint:allow(socket-isolation)
+  // Not findings: member calls and qualified names are not raw syscalls.
+  // connector.connect(fd) / std::bind-style uses stay legal.
+  return fd;
+}
+
+}  // namespace adpa

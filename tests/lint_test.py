@@ -133,6 +133,15 @@ class LintRuleTest(unittest.TestCase):
         self.assertEqual(
             rules_for(self.findings, "src/tensor/kernels_avx512.cc"), [])
 
+    def test_socket_isolation_fires_outside_net_layer(self):
+        hits = [(line, rule) for p, line, rule in self.findings
+                if p == "src/serve/bad_socket.cc"]
+        self.assertEqual({rule for _, rule in hits}, {"socket-isolation"})
+        # The <sys/socket.h> include, the socket() call, and the qualified
+        # ::listen() fire; the lint:allow'd shutdown() is suppressed and
+        # member-call/std::bind-style mentions never match.
+        self.assertEqual(len(hits), 3)
+
     def test_allow_escape_hatch_suppresses_everything(self):
         self.assertEqual(rules_for(self.findings, "src/models/allowed.cc"), [])
 

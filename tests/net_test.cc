@@ -1,0 +1,875 @@
+// Network serving subsystem tests: length-capped line framing must be a
+// pure function of the byte stream (chunk boundaries never matter), the
+// epoll server must answer JSONL requests in order per connection across
+// pipelining, interleaved clients, EOF edge cases, and injected socket
+// faults, and the hot checkpoint swap must be atomic — replies are bitwise
+// identical to the old session right up to the swap and to the new session
+// right after, with failed reloads leaving the live session serving.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/failpoint.h"
+#include "src/core/random.h"
+#include "src/data/generators.h"
+#include "src/data/splits.h"
+#include "src/io/checkpoint.h"
+#include "src/models/factory.h"
+#include "src/net/framing.h"
+#include "src/net/server.h"
+#include "src/net/socket.h"
+#include "src/serve/batcher.h"
+#include "src/serve/engine.h"
+#include "src/serve/hot_swap.h"
+#include "src/serve/jsonl.h"
+#include "src/serve/metrics.h"
+#include "src/train/trainer.h"
+
+namespace adpa {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Line framing
+
+std::vector<std::string> DrainLines(net::LineFramer* framer) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (framer->NextLine(&line) == net::LineFramer::Next::kLine) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(LineFramerTest, SplitsLfAndCrlfLines) {
+  net::LineFramer framer;
+  const std::string input = "alpha\nbeta\r\ngamma\n";
+  framer.Append(input.data(), input.size());
+  EXPECT_EQ(DrainLines(&framer),
+            (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  std::string line;
+  EXPECT_EQ(framer.NextLine(&line), net::LineFramer::Next::kNeedMore);
+  EXPECT_EQ(framer.buffered_bytes(), 0u);
+}
+
+TEST(LineFramerTest, PartialLinesSpanAppends) {
+  net::LineFramer framer;
+  std::string line;
+  framer.Append("hel", 3);
+  EXPECT_EQ(framer.NextLine(&line), net::LineFramer::Next::kNeedMore);
+  framer.Append("lo\nwo", 5);
+  EXPECT_EQ(framer.NextLine(&line), net::LineFramer::Next::kLine);
+  EXPECT_EQ(line, "hello");
+  EXPECT_EQ(framer.NextLine(&line), net::LineFramer::Next::kNeedMore);
+  framer.Append("rld\n", 4);
+  EXPECT_EQ(framer.NextLine(&line), net::LineFramer::Next::kLine);
+  EXPECT_EQ(line, "world");
+}
+
+TEST(LineFramerTest, ByteAtATimeMatchesWholeBuffer) {
+  const std::string input =
+      "first\nsecond line with spaces\r\n\n\r\nlast without newline";
+  net::LineFramer whole;
+  whole.Append(input.data(), input.size());
+  std::vector<std::string> whole_lines = DrainLines(&whole);
+
+  net::LineFramer bytewise;
+  std::vector<std::string> byte_lines;
+  std::string line;
+  for (char c : input) {
+    bytewise.Append(&c, 1);
+    while (bytewise.NextLine(&line) == net::LineFramer::Next::kLine) {
+      byte_lines.push_back(line);
+    }
+  }
+  EXPECT_EQ(whole_lines, byte_lines);
+  std::string rest_whole, rest_bytes;
+  EXPECT_TRUE(whole.TakeRemainder(&rest_whole));
+  EXPECT_TRUE(bytewise.TakeRemainder(&rest_bytes));
+  EXPECT_EQ(rest_whole, rest_bytes);
+  EXPECT_EQ(rest_whole, "last without newline");
+}
+
+TEST(LineFramerTest, OversizedLatchesPermanently) {
+  net::LineFramer framer(/*max_line_bytes=*/8);
+  const std::string input = "0123456789abcdef";  // no newline, over the cap
+  framer.Append(input.data(), input.size());
+  std::string line;
+  EXPECT_EQ(framer.NextLine(&line), net::LineFramer::Next::kOversized);
+  EXPECT_TRUE(framer.oversized());
+  // A newline after the fact must NOT resynchronize: the stream is broken.
+  framer.Append("\nok\n", 4);
+  EXPECT_EQ(framer.NextLine(&line), net::LineFramer::Next::kOversized);
+  EXPECT_FALSE(framer.TakeRemainder(&line));
+}
+
+TEST(LineFramerTest, CompleteLineAheadOfOversizedStillDelivered) {
+  net::LineFramer framer(/*max_line_bytes=*/8);
+  const std::string input = "short\n0123456789abcdef";
+  framer.Append(input.data(), input.size());
+  std::string line;
+  EXPECT_EQ(framer.NextLine(&line), net::LineFramer::Next::kLine);
+  EXPECT_EQ(line, "short");
+  EXPECT_EQ(framer.NextLine(&line), net::LineFramer::Next::kOversized);
+}
+
+TEST(LineFramerTest, CapSizedCrlfLineIsNotOversizedAtAnyChunking) {
+  // A line of exactly max_line_bytes terminated by "\r\n": the '\r' will be
+  // stripped, so buffering it while the '\n' is still in flight must not
+  // trip the oversized latch. Regression for a chunk-boundary divergence
+  // found by fuzz_framing (whole-buffer delivery yielded the line, but
+  // byte-at-a-time latched oversized on the cap+1st buffered byte '\r').
+  const std::string payload(8, 'x');
+  const std::string input = payload + "\r\n";
+  for (size_t chunk = 1; chunk <= input.size(); ++chunk) {
+    net::LineFramer framer(/*max_line_bytes=*/8);
+    std::string line;
+    std::vector<std::string> lines;
+    for (size_t off = 0; off < input.size(); off += chunk) {
+      framer.Append(input.data() + off, std::min(chunk, input.size() - off));
+      while (framer.NextLine(&line) == net::LineFramer::Next::kLine) {
+        lines.push_back(line);
+      }
+    }
+    EXPECT_FALSE(framer.oversized()) << "chunk=" << chunk;
+    EXPECT_EQ(lines, std::vector<std::string>{payload}) << "chunk=" << chunk;
+  }
+  // One byte past the cap still latches, with or without the CR excuse.
+  net::LineFramer framer(/*max_line_bytes=*/8);
+  const std::string over = payload + "y\r";
+  framer.Append(over.data(), over.size());
+  std::string line;
+  EXPECT_EQ(framer.NextLine(&line), net::LineFramer::Next::kOversized);
+}
+
+TEST(LineFramerTest, TakeRemainderHandlesCrAndEmptiness) {
+  net::LineFramer framer;
+  std::string line;
+  EXPECT_FALSE(framer.TakeRemainder(&line));  // nothing buffered
+  framer.Append("done\ntail", 9);
+  EXPECT_EQ(framer.NextLine(&line), net::LineFramer::Next::kLine);
+  EXPECT_TRUE(framer.TakeRemainder(&line));
+  EXPECT_EQ(line, "tail");
+  EXPECT_FALSE(framer.TakeRemainder(&line));  // consumed
+}
+
+// ---------------------------------------------------------------------------
+// host:port parsing
+
+TEST(ParseHostPortTest, AcceptsHostColonPort) {
+  Result<net::HostPort> spec = net::ParseHostPort("127.0.0.1:8080");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->host, "127.0.0.1");
+  EXPECT_EQ(spec->port, 8080);
+
+  spec = net::ParseHostPort(":0");  // empty host = INADDR_ANY, ephemeral
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->host, "");
+  EXPECT_EQ(spec->port, 0);
+}
+
+TEST(ParseHostPortTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(net::ParseHostPort("nohost").ok());
+  EXPECT_FALSE(net::ParseHostPort("host:").ok());
+  EXPECT_FALSE(net::ParseHostPort("host:port").ok());
+  EXPECT_FALSE(net::ParseHostPort("host:70000").ok());
+  EXPECT_FALSE(net::ParseHostPort("host:-1").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Reload request grammar
+
+TEST(JsonlReloadTest, ParsesAdminShape) {
+  Result<serve::ServeRequest> request =
+      serve::ParseRequestLine(R"({"id": 7, "reload": "/models/new.ckpt"})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_TRUE(request->is_reload);
+  EXPECT_EQ(request->id, 7);
+  EXPECT_EQ(request->reload_path, "/models/new.ckpt");
+
+  request = serve::ParseRequestLine(R"({"reload": "m.ckpt"})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_TRUE(request->is_reload);
+  EXPECT_EQ(request->id, 0);  // id is optional for the admin shape
+}
+
+TEST(JsonlReloadTest, RejectsMixedAndHostileShapes) {
+  EXPECT_FALSE(
+      serve::ParseRequestLine(R"({"reload": "m", "nodes": [1]})").ok());
+  EXPECT_FALSE(
+      serve::ParseRequestLine(R"({"reload": "m", "deadline_ms": 5})").ok());
+  EXPECT_FALSE(serve::ParseRequestLine(R"({"reload": ""})").ok());
+  EXPECT_FALSE(serve::ParseRequestLine(R"({"reload": "a\\b"})").ok());
+  EXPECT_FALSE(serve::ParseRequestLine("{\"reload\": \"a\tb\"}").ok());
+  EXPECT_FALSE(serve::ParseRequestLine(R"({"reload": "unterminated)").ok());
+  EXPECT_FALSE(
+      serve::ParseRequestLine(R"({"reload": "a", "reload": "b"})").ok());
+  // Overlong path: the 4096-byte cap fires before the string is built.
+  const std::string long_path(5000, 'x');
+  EXPECT_FALSE(
+      serve::ParseRequestLine("{\"reload\": \"" + long_path + "\"}").ok());
+}
+
+TEST(JsonlReloadTest, FormatsReloadReply) {
+  EXPECT_EQ(serve::FormatReloadReply(7, "/m.ckpt", 3),
+            R"({"id":7,"reloaded":"/m.ckpt","generation":3})");
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures: a tiny dataset plus two checkpoints with different weights
+
+Dataset Tiny(uint64_t seed = 5) {
+  DsbmConfig config;
+  config.num_nodes = 60;
+  config.num_classes = 3;
+  config.avg_out_degree = 4.0;
+  config.class_transition = HomophilousTransition(3, 0.7);
+  config.feature_dim = 6;
+  config.seed = seed;
+  Dataset ds = std::move(GenerateDsbm(config)).value();
+  Rng rng(seed);
+  Split split =
+      std::move(SplitFractions(ds.labels, 3, 0.5, 0.25, &rng)).value();
+  ds.train_idx = split.train;
+  ds.val_idx = split.val;
+  ds.test_idx = split.test;
+  return ds;
+}
+
+std::string UniquePath(const std::string& stem) {
+  // ctest runs each test case as its own process in parallel; the pid keeps
+  // concurrently running cases from clobbering each other's files.
+  static std::atomic<int> counter{0};
+  return testing::TempDir() + "/net_test_" + std::to_string(::getpid()) +
+         "_" + stem + "_" + std::to_string(counter.fetch_add(1)) + ".ckpt";
+}
+
+ModelConfig SmallConfig() {
+  ModelConfig config;
+  config.hidden = 16;
+  return config;
+}
+
+/// One dataset, two saved checkpoints whose (untrained, differently seeded)
+/// weights classify differently — the raw material for swap tests.
+struct SwapFixture {
+  Dataset dataset = Tiny();
+  ModelConfig config = SmallConfig();
+  std::string path_a = UniquePath("a");
+  std::string path_b = UniquePath("b");
+
+  SwapFixture() {
+    SaveModel(21, path_a);
+    SaveModel(99, path_b);
+  }
+
+  void SaveModel(uint64_t seed, const std::string& path) {
+    Rng rng(seed);
+    ModelPtr model =
+        std::move(CreateModel("ADPA", dataset, config, &rng)).value();
+    const Checkpoint checkpoint =
+        MakeCheckpoint(*model, "ADPA", dataset, config, TrainConfig());
+    ASSERT_TRUE(SaveCheckpoint(checkpoint, path).ok());
+  }
+
+  /// The reply an in-process session over `checkpoint_path` would give —
+  /// the bitwise reference for replies served over TCP.
+  std::string ExpectedReply(const std::string& checkpoint_path, int64_t id,
+                            const std::vector<int64_t>& nodes) {
+    Checkpoint checkpoint =
+        std::move(TryLoadCheckpoint(checkpoint_path)).value();
+    serve::InferenceSession session = std::move(
+        serve::InferenceSession::Create(checkpoint, dataset, {})).value();
+    return serve::FormatClassesReply(id,
+                                     std::move(session.Classify(nodes)).value());
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SessionRegistry
+
+TEST(SessionRegistryTest, EmptyUntilFirstLoadAndQueriesGetStructuredError) {
+  SwapFixture fixture;
+  serve::SessionRegistry registry(&fixture.dataset, serve::EngineOptions{});
+  EXPECT_EQ(registry.Current(), nullptr);
+  EXPECT_EQ(registry.generation(), 0);
+  EXPECT_EQ(registry.current_path(), "");
+  EXPECT_FALSE(registry.ReloadCurrent().ok());  // nothing to re-read yet
+
+  // A batcher pumping against an empty registry rejects, not crashes.
+  serve::MicroBatcher batcher(registry, nullptr,
+                              serve::MicroBatcher::Options{});
+  serve::MicroBatcher::Ticket ticket = batcher.Submit({0, 1});
+  ASSERT_TRUE(batcher.PumpOnce());
+  const Result<std::vector<int64_t>> reply = ticket.Wait();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionRegistryTest, ReloadSwapsSessionAndBumpsGeneration) {
+  SwapFixture fixture;
+  serve::SessionRegistry registry(&fixture.dataset, serve::EngineOptions{});
+
+  Result<serve::SessionRegistry::ReloadInfo> info =
+      registry.Reload(fixture.path_a);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->generation, 1);
+  EXPECT_EQ(info->model_name, "ADPA");
+  EXPECT_EQ(registry.current_path(), fixture.path_a);
+  const std::shared_ptr<const serve::InferenceSession> first =
+      registry.Current();
+  ASSERT_NE(first, nullptr);
+
+  info = registry.Reload(fixture.path_b);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->generation, 2);
+  EXPECT_EQ(registry.current_path(), fixture.path_b);
+  const std::shared_ptr<const serve::InferenceSession> second =
+      registry.Current();
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(first.get(), second.get());
+
+  // The pinned old session keeps answering even though the registry moved
+  // on — this is what keeps in-flight batches safe across a swap.
+  EXPECT_TRUE(first->Classify({0, 1, 2}).ok());
+}
+
+TEST(SessionRegistryTest, FailedReloadKeepsOldSessionServing) {
+  SwapFixture fixture;
+  serve::SessionRegistry registry(&fixture.dataset, serve::EngineOptions{});
+  ASSERT_TRUE(registry.Reload(fixture.path_a).ok());
+  const std::shared_ptr<const serve::InferenceSession> before =
+      registry.Current();
+
+  // Corrupt checkpoint: flip bytes in the middle of a copy of A.
+  const std::string corrupt_path = UniquePath("corrupt");
+  {
+    std::ifstream in(fixture.path_a, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 128u);
+    for (size_t i = bytes.size() / 2; i < bytes.size() / 2 + 16; ++i) {
+      bytes[i] = static_cast<char>(~bytes[i]);
+    }
+    std::ofstream out(corrupt_path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_FALSE(registry.Reload(corrupt_path).ok());
+
+  // Truncated checkpoint: same story.
+  const std::string truncated_path = UniquePath("truncated");
+  {
+    std::ifstream in(fixture.path_a, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(truncated_path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+  }
+  EXPECT_FALSE(registry.Reload(truncated_path).ok());
+  EXPECT_FALSE(registry.Reload(UniquePath("missing")).ok());
+
+  // Through every failure the registry never flipped.
+  EXPECT_EQ(registry.Current().get(), before.get());
+  EXPECT_EQ(registry.generation(), 1);
+  EXPECT_EQ(registry.current_path(), fixture.path_a);
+  EXPECT_TRUE(registry.Current()->Classify({0}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end server over loopback
+
+/// Blocking line-oriented client over a real socket, with a receive
+/// timeout so a server bug fails the test instead of hanging it.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port)
+      : fd_(std::move(net::ConnectTcp("127.0.0.1", port)).value()) {
+    timeval timeout{};
+    timeout.tv_sec = 10;
+    setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &timeout,
+               sizeof(timeout));
+  }
+
+  void Send(const std::string& text) {
+    size_t offset = 0;
+    while (offset < text.size()) {
+      const ssize_t wrote = ::send(fd_.get(), text.data() + offset,
+                                   text.size() - offset, MSG_NOSIGNAL);
+      if (wrote <= 0) {
+        ADD_FAILURE() << "send failed: " << std::strerror(errno);
+        return;
+      }
+      offset += static_cast<size_t>(wrote);
+    }
+  }
+
+  /// Next reply line without its terminator; "" on EOF/timeout.
+  std::string RecvLine() {
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        const std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t got = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+      if (got <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(got));
+    }
+  }
+
+  /// True once the server closed its end (reads EOF).
+  bool AtEof() {
+    char chunk[64];
+    const ssize_t got = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (got > 0) buffer_.append(chunk, static_cast<size_t>(got));
+    return got == 0;
+  }
+
+  /// True when the server terminated the connection — a clean EOF, or the
+  /// RST the kernel sends when a socket is closed with unread data still
+  /// queued (how a dropped-mid-request connection looks from outside).
+  bool Dropped() {
+    char chunk[64];
+    const ssize_t got = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (got > 0) buffer_.append(chunk, static_cast<size_t>(got));
+    return got == 0 || (got < 0 && errno == ECONNRESET);
+  }
+
+  void ShutdownWrite() { ::shutdown(fd_.get(), SHUT_WR); }
+
+ private:
+  net::FdOwner fd_;
+  std::string buffer_;
+};
+
+/// A live server on an ephemeral loopback port, its event loop on a test
+/// thread (tests may use std::thread; src/ may not).
+class ServerHarness {
+ public:
+  explicit ServerHarness(SwapFixture* fixture,
+                         net::ServerOptions options = {},
+                         bool load_initial = true)
+      : fixture_(fixture),
+        registry_(&fixture->dataset, serve::EngineOptions{}) {
+    if (load_initial) {
+      const Result<serve::SessionRegistry::ReloadInfo> initial =
+          registry_.Reload(fixture->path_a);
+      EXPECT_TRUE(initial.ok()) << initial.status().ToString();
+    }
+    options.host = "127.0.0.1";
+    options.port = 0;
+    server_ =
+        std::move(net::Server::Create(options, &registry_, &metrics_))
+            .value();
+    loop_ = std::thread([this] { serve_status_ = server_->Serve(); });
+  }
+
+  ~ServerHarness() { Stop(); }
+
+  void Stop() {
+    if (!loop_.joinable()) return;
+    server_->RequestStop();
+    loop_.join();
+    EXPECT_TRUE(serve_status_.ok()) << serve_status_.ToString();
+  }
+
+  uint16_t port() const { return server_->port(); }
+  net::Server& server() { return *server_; }
+  serve::SessionRegistry& registry() { return registry_; }
+  SwapFixture& fixture() { return *fixture_; }
+
+ private:
+  SwapFixture* fixture_;
+  serve::SessionRegistry registry_;
+  serve::ServeMetrics metrics_;
+  std::unique_ptr<net::Server> server_;
+  std::thread loop_;
+  Status serve_status_;
+};
+
+std::string Query(int64_t id, const std::string& nodes) {
+  return "{\"id\": " + std::to_string(id) + ", \"nodes\": [" + nodes +
+         "]}\n";
+}
+
+TEST(NetServerTest, AnswersPipelinedRequestsInOrder) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  TestClient client(harness.port());
+
+  client.Send(Query(1, "0, 5, 9") + Query(2, "1") + Query(3, "2, 3"));
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 1,
+                                                     {0, 5, 9}));
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 2,
+                                                     {1}));
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 3,
+                                                     {2, 3}));
+}
+
+TEST(NetServerTest, InterleavedConnectionsKeepTheirOwnOrder) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  TestClient first(harness.port());
+  TestClient second(harness.port());
+
+  first.Send(Query(10, "0"));
+  second.Send(Query(20, "1"));
+  first.Send(Query(11, "2"));
+  second.Send(Query(21, "3"));
+
+  EXPECT_EQ(first.RecvLine(), fixture.ExpectedReply(fixture.path_a, 10, {0}));
+  EXPECT_EQ(first.RecvLine(), fixture.ExpectedReply(fixture.path_a, 11, {2}));
+  EXPECT_EQ(second.RecvLine(),
+            fixture.ExpectedReply(fixture.path_a, 20, {1}));
+  EXPECT_EQ(second.RecvLine(),
+            fixture.ExpectedReply(fixture.path_a, 21, {3}));
+}
+
+TEST(NetServerTest, ParseErrorsAndBlankLinesMatchStdinMode) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  TestClient client(harness.port());
+
+  client.Send("not json\n\n\r\n" + Query(4, "0"));
+  const std::string error = client.RecvLine();
+  EXPECT_EQ(error.rfind("{\"id\":-1,\"error\":\"malformed request:", 0), 0u)
+      << error;
+  // Blank lines produce no replies at all (same as the stdin server).
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 4, {0}));
+}
+
+TEST(NetServerTest, FinalLineWithoutNewlineIsServedAtEof) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  TestClient client(harness.port());
+
+  std::string query = Query(8, "7");
+  query.pop_back();  // strip the newline
+  client.Send(query);
+  client.ShutdownWrite();
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 8, {7}));
+  EXPECT_TRUE(client.AtEof());  // server closes once the reply is flushed
+}
+
+TEST(NetServerTest, OversizedLineGetsFramingErrorThenClose) {
+  SwapFixture fixture;
+  net::ServerOptions options;
+  options.max_line_bytes = 64;
+  ServerHarness harness(&fixture, options);
+  TestClient client(harness.port());
+
+  client.Send(std::string(256, 'x'));
+  const std::string error = client.RecvLine();
+  EXPECT_NE(error.find("exceeds 64 bytes"), std::string::npos) << error;
+  EXPECT_TRUE(client.AtEof());
+}
+
+TEST(NetServerTest, QueueFullRejectsWithOverloadedShape) {
+  SwapFixture fixture;
+  net::ServerOptions options;
+  options.batcher.max_queue_depth = 1;
+  ServerHarness harness(&fixture, options);
+  TestClient client(harness.port());
+
+  // One pipelined burst lands in a single read: only the first Submit fits
+  // the queue, the rest come back as the structured overloaded shape.
+  client.Send(Query(1, "0") + Query(2, "1") + Query(3, "2"));
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 1, {0}));
+  for (const int64_t id : {2, 3}) {
+    const std::string reply = client.RecvLine();
+    EXPECT_EQ(reply.rfind("{\"id\":" + std::to_string(id) +
+                              ",\"error\":\"overloaded\"",
+                          0),
+              0u)
+        << reply;
+  }
+}
+
+TEST(NetServerTest, EmptyRegistryAnswersWithStructuredError) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture, {}, /*load_initial=*/false);
+  TestClient client(harness.port());
+
+  client.Send(Query(5, "0"));
+  const std::string reply = client.RecvLine();
+  EXPECT_NE(reply.find("no model is loaded yet"), std::string::npos)
+      << reply;
+
+  // A reload over the wire brings the server to life without a restart.
+  client.Send("{\"id\": 6, \"reload\": \"" + fixture.path_a + "\"}\n");
+  EXPECT_EQ(client.RecvLine(),
+            serve::FormatReloadReply(6, fixture.path_a, 1));
+  client.Send(Query(7, "0"));
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 7, {0}));
+}
+
+TEST(NetServerTest, ReloadCanBeDisabled) {
+  SwapFixture fixture;
+  net::ServerOptions options;
+  options.allow_reload = false;
+  ServerHarness harness(&fixture, options);
+  TestClient client(harness.port());
+
+  client.Send("{\"id\": 1, \"reload\": \"" + fixture.path_b + "\"}\n");
+  const std::string reply = client.RecvLine();
+  EXPECT_NE(reply.find("reload is disabled"), std::string::npos) << reply;
+  EXPECT_EQ(harness.registry().generation(), 1);  // nothing swapped
+}
+
+TEST(NetServerTest, HotSwapIsBitwiseExactOnBothSides) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  const std::vector<int64_t> nodes{0, 3, 7, 11, 19, 23, 31, 42, 55, 59};
+  const std::string expected_a =
+      fixture.ExpectedReply(fixture.path_a, 1, nodes);
+  const std::string expected_b =
+      fixture.ExpectedReply(fixture.path_b, 1, nodes);
+  ASSERT_NE(expected_a, expected_b)
+      << "fixture checkpoints must classify differently";
+  const std::string query = Query(1, "0, 3, 7, 11, 19, 23, 31, 42, 55, 59");
+
+  TestClient hammer(harness.port());
+  TestClient admin(harness.port());
+
+  // Every reply before the swap is bitwise the old session's.
+  for (int i = 0; i < 5; ++i) {
+    hammer.Send(query);
+    EXPECT_EQ(hammer.RecvLine(), expected_a);
+  }
+  admin.Send("{\"id\": 99, \"reload\": \"" + fixture.path_b + "\"}\n");
+  EXPECT_EQ(admin.RecvLine(),
+            serve::FormatReloadReply(99, fixture.path_b, 2));
+  // Every reply after the acked swap is bitwise the new session's.
+  for (int i = 0; i < 5; ++i) {
+    hammer.Send(query);
+    EXPECT_EQ(hammer.RecvLine(), expected_b);
+  }
+}
+
+TEST(NetServerTest, SwapUnderConcurrentLoadNeverTearsAReply) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  const std::vector<int64_t> nodes{0, 3, 7, 11, 19, 23, 31, 42, 55, 59};
+  const std::string expected_a =
+      fixture.ExpectedReply(fixture.path_a, 1, nodes);
+  const std::string expected_b =
+      fixture.ExpectedReply(fixture.path_b, 1, nodes);
+  ASSERT_NE(expected_a, expected_b);
+  const std::string query = Query(1, "0, 3, 7, 11, 19, 23, 31, 42, 55, 59");
+
+  std::vector<std::string> replies;
+  std::thread hammer([&] {
+    TestClient client(harness.port());
+    for (int i = 0; i < 200; ++i) {
+      client.Send(query);
+      replies.push_back(client.RecvLine());
+    }
+  });
+
+  TestClient admin(harness.port());
+  admin.Send("{\"id\": 99, \"reload\": \"" + fixture.path_b + "\"}\n");
+  EXPECT_EQ(admin.RecvLine(),
+            serve::FormatReloadReply(99, fixture.path_b, 2));
+  hammer.join();
+
+  // Every reply is bitwise one of the two sessions — never torn, never an
+  // error — and the sequence switches from A to B exactly once.
+  bool swapped = false;
+  for (const std::string& reply : replies) {
+    if (reply == expected_b) {
+      swapped = true;
+    } else {
+      EXPECT_EQ(reply, expected_a);
+      EXPECT_FALSE(swapped) << "old-session reply after a new-session one";
+    }
+  }
+}
+
+TEST(NetServerTest, CorruptReloadKeepsLiveSessionAnswering) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  const std::string truncated_path = UniquePath("net_truncated");
+  {
+    std::ifstream in(fixture.path_a, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(truncated_path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  TestClient client(harness.port());
+  client.Send("{\"id\": 1, \"reload\": \"" + truncated_path + "\"}\n");
+  const std::string reply = client.RecvLine();
+  EXPECT_EQ(reply.rfind("{\"id\":1,\"error\":\"", 0), 0u) << reply;
+
+  // The live session never stopped answering, and the registry held.
+  client.Send(Query(2, "0, 1"));
+  EXPECT_EQ(client.RecvLine(),
+            fixture.ExpectedReply(fixture.path_a, 2, {0, 1}));
+  EXPECT_EQ(harness.registry().generation(), 1);
+  EXPECT_EQ(harness.registry().current_path(), fixture.path_a);
+}
+
+TEST(NetServerTest, ConcurrentAdminReloadsSerialize) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  constexpr int kReloadsPerClient = 8;
+
+  auto reload_loop = [&](const std::string& path) {
+    TestClient client(harness.port());
+    for (int i = 0; i < kReloadsPerClient; ++i) {
+      client.Send("{\"id\": 1, \"reload\": \"" + path + "\"}\n");
+      const std::string reply = client.RecvLine();
+      EXPECT_EQ(reply.rfind("{\"id\":1,\"reloaded\":", 0), 0u) << reply;
+    }
+  };
+  std::thread first(reload_loop, fixture.path_a);
+  std::thread second(reload_loop, fixture.path_b);
+  first.join();
+  second.join();
+
+  // Single-threaded event loop: every reload ran to completion in arrival
+  // order, so the generation counter accounts for each one exactly once.
+  EXPECT_EQ(harness.registry().generation(), 1 + 2 * kReloadsPerClient);
+  ASSERT_NE(harness.registry().Current(), nullptr);
+  EXPECT_TRUE(harness.registry().Current()->Classify({0}).ok());
+}
+
+TEST(NetServerTest, StopDrainsOutstandingRepliesAndCloses) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  TestClient client(harness.port());
+
+  client.Send(Query(1, "0") + Query(2, "1") + Query(3, "2"));
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 1, {0}));
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 2, {1}));
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 3, {2}));
+
+  harness.Stop();  // asserts Serve() returned OK
+  EXPECT_TRUE(client.AtEof());
+  EXPECT_GE(harness.server().stats().accepted, 1u);
+}
+
+TEST(NetServerTest, RequestReloadReReadsCurrentPath) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  const std::vector<int64_t> nodes{0, 3, 7, 11, 19, 23, 31, 42, 55, 59};
+  const std::string expected_b =
+      fixture.ExpectedReply(fixture.path_b, 1, nodes);
+
+  // Replace the file behind the current path — the SIGHUP scenario ("the
+  // checkpoint was rewritten on disk; pick it up").
+  {
+    std::ifstream in(fixture.path_b, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(fixture.path_a, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  harness.server().RequestReload();
+  // The wake is asynchronous; the generation bump marks completion.
+  for (int i = 0; i < 500 && harness.registry().generation() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(harness.registry().generation(), 2);
+
+  TestClient client(harness.port());
+  client.Send(Query(1, "0, 3, 7, 11, 19, 23, 31, 42, 55, 59"));
+  EXPECT_EQ(client.RecvLine(), expected_b);
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint recovery (compiled in under the `recovery` preset)
+
+class NetFailpointTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    if (!failpoint::CompiledIn()) {
+      GTEST_SKIP() << "failpoints compiled out; build with "
+                      "-DADPA_FAILPOINTS=ON";
+    }
+    failpoint::ClearAll();
+  }
+  void TearDown() override {
+    if (failpoint::CompiledIn()) failpoint::ClearAll();
+  }
+};
+
+TEST_F(NetFailpointTest, AcceptErrorIsCountedAndSurvived) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  ASSERT_TRUE(failpoint::Configure("net.accept", "error@1").ok());
+
+  // The first accept attempt fails; level-triggered epoll retries and the
+  // connection still lands. The server never goes down.
+  TestClient client(harness.port());
+  client.Send(Query(1, "0"));
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 1, {0}));
+  EXPECT_GE(harness.server().stats().io_errors, 1u);
+}
+
+TEST_F(NetFailpointTest, ReadErrorDropsOnlyThatConnection) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  ASSERT_TRUE(failpoint::Configure("net.read", "error@1").ok());
+
+  TestClient victim(harness.port());
+  victim.Send(Query(1, "0"));
+  EXPECT_TRUE(victim.Dropped());  // injected read failure drops the victim
+
+  failpoint::ClearAll();
+  TestClient survivor(harness.port());  // the server itself kept serving
+  survivor.Send(Query(2, "1"));
+  EXPECT_EQ(survivor.RecvLine(),
+            fixture.ExpectedReply(fixture.path_a, 2, {1}));
+}
+
+TEST_F(NetFailpointTest, ByteAtATimeIoStaysByteCorrect) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  // Every read and write transfers one byte: the framing and flush paths
+  // run at maximum fragmentation and the replies must not change.
+  ASSERT_TRUE(failpoint::Configure("net.read.short", "error").ok());
+  ASSERT_TRUE(failpoint::Configure("net.write.short", "error").ok());
+
+  TestClient client(harness.port());
+  client.Send(Query(1, "0, 5, 9") + Query(2, "1"));
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 1,
+                                                     {0, 5, 9}));
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 2,
+                                                     {1}));
+}
+
+TEST_F(NetFailpointTest, ReloadLoadFailureKeepsOldSessionServing) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  ASSERT_TRUE(failpoint::Configure("net.reload.load", "error").ok());
+
+  TestClient client(harness.port());
+  client.Send("{\"id\": 1, \"reload\": \"" + fixture.path_b + "\"}\n");
+  const std::string reply = client.RecvLine();
+  EXPECT_NE(reply.find("injected failure"), std::string::npos) << reply;
+
+  failpoint::ClearAll();
+  client.Send(Query(2, "0"));
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 2, {0}));
+  EXPECT_EQ(harness.registry().generation(), 1);
+  EXPECT_EQ(harness.registry().current_path(), fixture.path_a);
+}
+
+}  // namespace
+}  // namespace adpa

@@ -18,7 +18,18 @@
 // and exits 0. SIGPIPE is ignored so a vanished reader surfaces as a
 // write error instead of killing the process.
 //
+// TCP mode (--listen host:port): an epoll event loop (src/net/server.h)
+// serves the same JSONL protocol to many concurrent connections, replies
+// in order per connection, and additionally accepts the admin request
+// {"reload": "/path/to/model.ckpt"} which hot-swaps the serving checkpoint
+// without dropping a request (SIGHUP re-reads the current checkpoint
+// path). Port 0 binds an ephemeral port; the actual address is announced
+// on stderr as "listening on HOST:PORT". SIGTERM/SIGINT drain exactly as
+// in stdin mode: stop accepting, answer everything received, flush, exit 0.
+//
 // Flags:
+//   --listen=HOST:PORT    serve over TCP instead of stdin/stdout
+//   --no_reload           refuse {"reload": ...} admin requests (TCP mode)
 //   --checkpoint=F        trained model (required)
 //   --in=F                the dataset the model was trained on (required)
 //   --undirect            mirror the training run's --undirect
@@ -48,8 +59,11 @@
 #include "src/core/parallel.h"
 #include "src/data/io.h"
 #include "src/io/checkpoint.h"
+#include "src/net/server.h"
+#include "src/net/socket.h"
 #include "src/serve/batcher.h"
 #include "src/serve/engine.h"
+#include "src/serve/hot_swap.h"
 #include "src/serve/jsonl.h"
 #include "src/serve/metrics.h"
 #include "src/tensor/simd.h"
@@ -61,6 +75,19 @@ volatile std::sig_atomic_t g_shutdown_signal = 0;
 
 extern "C" void HandleShutdownSignal(int signal_number) {
   g_shutdown_signal = signal_number;
+}
+
+/// TCP mode: signals wake the event loop through its self-pipe. Both the
+/// flag store and the single-byte write are async-signal-safe.
+volatile std::sig_atomic_t g_server_wake_fd = -1;
+
+extern "C" void HandleServerSignal(int signal_number) {
+  if (signal_number != SIGHUP) g_shutdown_signal = signal_number;
+  const int fd = g_server_wake_fd;
+  if (fd < 0) return;
+  const char command = signal_number == SIGHUP ? 'H' : 'T';
+  const ssize_t wrote = ::write(fd, &command, 1);
+  (void)wrote;  // a full wake pipe already has a wakeup queued
 }
 
 /// Line reader over fd 0 built on raw ::read. std::getline can't be used
@@ -112,15 +139,122 @@ int Fail(const Status& status) {
   return 1;
 }
 
+void PrintMetricsSummary(const serve::ServeMetrics& metrics,
+                         double elapsed_s) {
+  const serve::MetricsSnapshot snapshot = metrics.Snapshot();
+  std::fprintf(stderr,
+               "served %llu requests (%llu errors, %llu nodes) in %llu "
+               "batches; mean batch %.2f req; latency ms p50 %.3f p99 %.3f "
+               "mean %.3f; %.1f req/s; max queue depth %lld; rejected %llu; "
+               "shed %llu\n",
+               static_cast<unsigned long long>(snapshot.requests),
+               static_cast<unsigned long long>(snapshot.errors),
+               static_cast<unsigned long long>(snapshot.nodes),
+               static_cast<unsigned long long>(snapshot.batches),
+               snapshot.mean_batch_requests, snapshot.p50_latency_ms,
+               snapshot.p99_latency_ms, snapshot.mean_latency_ms,
+               elapsed_s > 0.0 ? static_cast<double>(snapshot.requests) /
+                                     elapsed_s
+                               : 0.0,
+               static_cast<long long>(snapshot.max_queue_depth),
+               static_cast<unsigned long long>(snapshot.rejected),
+               static_cast<unsigned long long>(snapshot.shed));
+}
+
+/// --listen mode: epoll event loop over TCP with hot checkpoint swap.
+int ServeTcp(const std::string& listen_spec, const Flags& flags,
+             const Dataset& input, const std::string& checkpoint_path) {
+  Result<net::HostPort> listen = net::ParseHostPort(listen_spec);
+  if (!listen.ok()) return Fail(listen.status());
+
+  serve::EngineOptions engine_options;
+  engine_options.propagation_cache_path = flags.GetString("cache", "");
+  serve::SessionRegistry registry(&input, engine_options);
+  const Result<serve::SessionRegistry::ReloadInfo> initial =
+      registry.Reload(checkpoint_path);
+  if (!initial.ok()) return Fail(initial.status());
+  const std::shared_ptr<const serve::InferenceSession> session =
+      registry.Current();
+  std::fprintf(stderr,
+               "serving %s on %s: %lld nodes, %lld classes, propagation %s\n",
+               initial->model_name.c_str(), input.name.c_str(),
+               static_cast<long long>(session->num_nodes()),
+               static_cast<long long>(session->num_classes()),
+               initial->used_propagation_cache ? "cache hit" : "computed");
+
+  serve::ServeMetrics metrics;
+  net::ServerOptions options;
+  options.host = listen->host;
+  options.port = listen->port;
+  options.batcher.max_batch_nodes = flags.GetInt("max_batch_nodes", 4096);
+  options.batcher.max_queue_depth = flags.GetInt("max_queue_depth", 4096);
+  options.allow_reload = !flags.Has("no_reload");
+  Result<std::unique_ptr<net::Server>> server =
+      net::Server::Create(options, &registry, &metrics);
+  if (!server.ok()) return Fail(server.status());
+  std::fprintf(stderr, "listening on %s:%u\n",
+               options.host.empty() || options.host == "*"
+                   ? "0.0.0.0"
+                   : options.host.c_str(),
+               static_cast<unsigned>((*server)->port()));
+  std::fflush(stderr);  // harnesses grep the announced port immediately
+
+  g_server_wake_fd = (*server)->wake_fd();
+  struct sigaction wake_action {};
+  wake_action.sa_handler = HandleServerSignal;
+  sigemptyset(&wake_action.sa_mask);
+  wake_action.sa_flags = 0;  // no SA_RESTART: epoll_wait must wake
+  sigaction(SIGTERM, &wake_action, nullptr);
+  sigaction(SIGINT, &wake_action, nullptr);
+  sigaction(SIGHUP, &wake_action, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const auto serve_start = std::chrono::steady_clock::now();
+  const Status status = (*server)->Serve();
+  g_server_wake_fd = -1;
+  if (!status.ok()) return Fail(status);
+  if (g_shutdown_signal != 0) {
+    std::fprintf(stderr,
+                 "draining: received signal %d; in-flight requests "
+                 "answered, exiting cleanly\n",
+                 static_cast<int>(g_shutdown_signal));
+  }
+
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    serve_start)
+          .count();
+  const net::ServerStats& stats = (*server)->stats();
+  std::fprintf(stderr,
+               "connections: %llu accepted, %llu closed by peer, %llu "
+               "dropped, %llu io errors, %llu over capacity; reloads: %llu "
+               "ok, %llu failed (generation %lld)\n",
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.closed_by_peer),
+               static_cast<unsigned long long>(stats.dropped),
+               static_cast<unsigned long long>(stats.io_errors),
+               static_cast<unsigned long long>(stats.over_capacity),
+               static_cast<unsigned long long>(stats.reloads),
+               static_cast<unsigned long long>(stats.reload_failures),
+               static_cast<long long>(registry.generation()));
+  PrintMetricsSummary(metrics, elapsed_s);
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: adpa_serve --checkpoint=F --in=F [--undirect]\n"
+               "                  [--listen=HOST:PORT --no_reload]\n"
                "                  [--cache=F --batch_lines=N "
                "--max_batch_nodes=N\n"
                "                  --max_queue_depth=N --threads=N\n"
                "                  --simd_level=<portable|avx2|avx512>]\n"
                "reads JSON-lines requests from stdin, writes replies to "
                "stdout;\n"
+               "with --listen, serves the same protocol over TCP (port 0 =\n"
+               "ephemeral; the bound address is printed to stderr) and\n"
+               "accepts {\"reload\": \"path\"} hot-swap requests (SIGHUP\n"
+               "re-reads the current checkpoint);\n"
                "SIGTERM/SIGINT drain in-flight requests and exit 0\n");
   return 2;
 }
@@ -168,6 +302,11 @@ int Main(int argc, char** argv) {
   Dataset input = flags.GetBool("undirect", false)
                       ? dataset->WithUndirectedGraph()
                       : std::move(*dataset);
+
+  if (flags.Has("listen")) {
+    return ServeTcp(flags.GetString("listen", ""), flags, input,
+                    checkpoint_path);
+  }
 
   Result<Checkpoint> checkpoint = TryLoadCheckpoint(checkpoint_path);
   if (!checkpoint.ok()) return Fail(checkpoint.status());
@@ -221,6 +360,9 @@ int Main(int argc, char** argv) {
       if (!request.ok()) {
         slot.error_reply =
             serve::FormatErrorReply(-1, request.status().message());
+      } else if (request->is_reload) {
+        slot.error_reply = serve::FormatErrorReply(
+            request->id, "reload requires --listen mode");
       } else {
         slot.id = request->id;
         slot.has_ticket = true;
@@ -263,24 +405,7 @@ int Main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     serve_start)
           .count();
-  const serve::MetricsSnapshot snapshot = metrics.Snapshot();
-  std::fprintf(stderr,
-               "served %llu requests (%llu errors, %llu nodes) in %llu "
-               "batches; mean batch %.2f req; latency ms p50 %.3f p99 %.3f "
-               "mean %.3f; %.1f req/s; max queue depth %lld; rejected %llu; "
-               "shed %llu\n",
-               static_cast<unsigned long long>(snapshot.requests),
-               static_cast<unsigned long long>(snapshot.errors),
-               static_cast<unsigned long long>(snapshot.nodes),
-               static_cast<unsigned long long>(snapshot.batches),
-               snapshot.mean_batch_requests, snapshot.p50_latency_ms,
-               snapshot.p99_latency_ms, snapshot.mean_latency_ms,
-               elapsed_s > 0.0 ? static_cast<double>(snapshot.requests) /
-                                     elapsed_s
-                               : 0.0,
-               static_cast<long long>(snapshot.max_queue_depth),
-               static_cast<unsigned long long>(snapshot.rejected),
-               static_cast<unsigned long long>(snapshot.shed));
+  PrintMetricsSummary(metrics, elapsed_s);
   return 0;
 }
 

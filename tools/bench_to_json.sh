@@ -1,7 +1,11 @@
 #!/bin/sh
-# Runs the kernel micro-bench suite and the serving bench, recording their
+# Runs the kernel micro-bench suite and the serving benches, recording their
 # JSON reports so the perf trajectory is tracked in-repo across PRs (see
-# BENCH_kernels.json and BENCH_serve.json).
+# BENCH_kernels.json and BENCH_serve.json). BENCH_serve.json holds a
+# `reports` array with one entry per transport: the in-process
+# batcher-direct rows (serve_bench, `"transport": "in_process"`) and the
+# TCP sustained-load rows (load_bench, `"transport": "tcp"` with the
+# headline `sustained_qps_at_slo` under `slo_p99_ms`).
 #
 # Provenance guard: both binaries self-report whether THIS code was compiled
 # with NDEBUG ("adpa_build_type" in the google-benchmark context,
@@ -25,6 +29,7 @@ OUT_FILE="${2:-BENCH_kernels.json}"
 SERVE_OUT_FILE="${3:-BENCH_serve.json}"
 BENCH_BIN="$BUILD_DIR/bench/bench_kernels"
 SERVE_BIN="$BUILD_DIR/bench/serve_bench"
+LOAD_BIN="$BUILD_DIR/bench/load_bench"
 
 # check_release <file> <json-key>: refuse a report whose self-declared build
 # type is not "release" (unless --allow-debug).
@@ -57,12 +62,39 @@ fi
 check_release "$OUT_FILE" "adpa_build_type"
 echo "wrote $OUT_FILE"
 
-if [ ! -x "$SERVE_BIN" ]; then
-  echo "error: $SERVE_BIN not built (run: cmake --build $BUILD_DIR)" >&2
+for bin in "$SERVE_BIN" "$LOAD_BIN"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (run: cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$SERVE_BIN" > "$WORK/in_process.json"
+check_release "$WORK/in_process.json" "build_type"
+grep -q '"transport": "in_process"' "$WORK/in_process.json" || {
+  echo "error: serve_bench report lacks the transport key" >&2
   exit 1
-fi
+}
 
-"$SERVE_BIN" > "$SERVE_OUT_FILE"
+"$LOAD_BIN" > "$WORK/tcp.json"
+check_release "$WORK/tcp.json" "build_type"
+for key in '"transport": "tcp"' '"slo_p99_ms"' '"sustained_qps_at_slo"'; do
+  grep -q "$key" "$WORK/tcp.json" || {
+    echo "error: load_bench report lacks the $key key" >&2
+    exit 1
+  }
+done
 
-check_release "$SERVE_OUT_FILE" "build_type"
+{
+  echo '{'
+  echo '"reports": ['
+  cat "$WORK/in_process.json"
+  echo ','
+  cat "$WORK/tcp.json"
+  echo ']'
+  echo '}'
+} > "$SERVE_OUT_FILE"
 echo "wrote $SERVE_OUT_FILE"

@@ -12,6 +12,11 @@
 #  3. SIGTERM adpa_serve mid-stream and assert it drains: the already
 #     accepted request is answered, the drain notice hits stderr, and the
 #     process exits 0.
+#  4. Same drain contract over TCP: SIGTERM adpa_serve --listen while a
+#     client connection is open, and assert the served reply arrived, the
+#     connection is closed (client sees EOF, not a reset mid-reply), the
+#     drain notice hits stderr, and the process exits 0. Skipped with a
+#     notice when python3 (the test client) is unavailable.
 #
 # Needs binaries built with -DADPA_FAILPOINTS=ON (the `recovery` preset);
 # exits 77 (the autotools/ctest SKIP convention) otherwise.
@@ -110,5 +115,64 @@ grep -q '"id":1,"classes"' "$WORK/replies.jsonl" \
 grep -q 'draining: received signal' "$WORK/serve.log" \
   || fail "no drain notice on stderr: $(cat "$WORK/serve.log")"
 
+# --- 4. SIGTERM drains adpa_serve --listen (TCP) --------------------------
+TCP_CASE="skipped (no python3)"
+if command -v python3 > /dev/null 2>&1; then
+  "$SERVE" --checkpoint="$WORK/reference.ckpt" --in="$WORK/texas.txt" \
+    --listen=127.0.0.1:0 2> "$WORK/tcp_serve.log" &
+  TCP_PID=$!
+  tries=0
+  until grep -q '^listening on 127\.0\.0\.1:' "$WORK/tcp_serve.log"; do
+    tries=$((tries + 1))
+    [ "$tries" -lt 100 ] || fail "adpa_serve --listen did not come up in 10s"
+    sleep 0.1
+  done
+  PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$WORK/tcp_serve.log" | head -n 1)"
+  [ -n "$PORT" ] || fail "could not parse the listen port"
+
+  # The client sends one request, records the reply, then holds the
+  # connection open until the draining server closes it (EOF, exit 0).
+  python3 - "$PORT" "$WORK/tcp_reply.jsonl" <<'PYEOF' &
+import socket, sys
+sock = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10)
+sock.settimeout(10)
+sock.sendall(b'{"id": 1, "nodes": [0, 1, 2]}\n')
+buf = b""
+while b"\n" not in buf:
+    chunk = sock.recv(4096)
+    if not chunk:
+        sys.exit(2)  # closed before the reply
+    buf += chunk
+line, _, rest = buf.partition(b"\n")
+with open(sys.argv[2], "wb") as out:
+    out.write(line + b"\n")
+while True:  # wait for the drain to close the connection
+    chunk = sock.recv(4096)
+    if not chunk:
+        sys.exit(0)
+    rest += chunk
+PYEOF
+  CLIENT_PID=$!
+  tries=0
+  while [ ! -s "$WORK/tcp_reply.jsonl" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -lt 100 ] || fail "no TCP reply from adpa_serve within 10s"
+    sleep 0.1
+  done
+  kill -TERM "$TCP_PID"
+  rc=0
+  wait "$TCP_PID" || rc=$?
+  [ "$rc" -eq 0 ] || fail "adpa_serve --listen exited $rc after SIGTERM"
+  rc=0
+  wait "$CLIENT_PID" || rc=$?
+  [ "$rc" -eq 0 ] || fail "TCP client exited $rc (connection not drained?)"
+  grep -q '"id":1,"classes"' "$WORK/tcp_reply.jsonl" \
+    || fail "TCP request was not answered before shutdown"
+  grep -q 'draining: received signal' "$WORK/tcp_serve.log" \
+    || fail "no TCP drain notice on stderr: $(cat "$WORK/tcp_serve.log")"
+  TCP_CASE="TCP drained"
+fi
+
 echo "crash_harness: OK (crash@8 resumed bitwise, torn snapshot refused," \
-  "SIGTERM drained)"
+  "SIGTERM drained, $TCP_CASE)"

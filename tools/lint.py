@@ -32,8 +32,9 @@ Rules (ids used by the `// lint:allow(<rule>)` escape hatch):
   no-direct-io             std::cout / printf in src/ outside
                            src/core/logging.*; route output through
                            TablePrinter / Status / the CLI binary.
-                           Additionally, in src/io/ and src/serve/ raw C
-                           stdio (fopen/fread/FILE* ...) is forbidden:
+                           Additionally, in src/io/, src/serve/, and
+                           src/net/ raw C stdio (fopen/fread/FILE* ...) is
+                           forbidden:
                            persistence and serving do all file access
                            through the checked stream APIs
                            (BinaryReader/BinaryWriter over std::fstream),
@@ -49,6 +50,13 @@ Rules (ids used by the `// lint:allow(<rule>)` escape hatch):
                            everything else calls simd::Kernels() so the
                            portable level stays complete and runtime dispatch
                            cannot be bypassed.
+  socket-isolation         raw socket/epoll/poll syscalls (socket, bind,
+                           listen, accept, epoll_wait, ...) and their headers
+                           are forbidden in src/ outside src/net/; everything
+                           else uses the FdOwner/ListenTcp/ReadSome/WriteSome
+                           wrappers and the Server event loop so EINTR
+                           handling, non-blocking semantics, and failpoint
+                           seams stay in one place.
   no-bare-exit             exit()/abort()/_exit()/quick_exit() in src/
                            outside the failpoint and logging machinery;
                            library code reports failure as a Status (or an
@@ -213,7 +221,7 @@ RULES = [
             r"fprintf|setvbuf|tmpfile)\s*\(",
             r"\bFILE\s*\*",
         ],
-        scopes=("src/io/", "src/serve/"),
+        scopes=("src/io/", "src/serve/", "src/net/"),
     ),
     Rule(
         "no-bare-exit",
@@ -246,6 +254,31 @@ RULES = [
             "src/tensor/kernels_portable.cc",
             "src/tensor/kernels_avx2.cc",
             "src/tensor/kernels_avx512.cc",
+        ),
+    ),
+    Rule(
+        "socket-isolation",
+        "raw socket/epoll/poll syscalls outside src/net/; go through the "
+        "FdOwner/ListenTcp/ReadSome/WriteSome wrappers (src/net/socket.h) "
+        "and the Server event loop so EINTR handling, non-blocking "
+        "semantics, and failpoint seams stay in one place",
+        [
+            r"#\s*include\s*<(?:sys/socket\.h|sys/epoll\.h|netinet/in\.h|"
+            r"netinet/tcp\.h|arpa/inet\.h|poll\.h|sys/select\.h|netdb\.h)>",
+            r"(?<![\w:.])(?:::)?(?:socket|bind|listen|accept4?|connect|recv|"
+            r"recvfrom|recvmsg|send|sendto|sendmsg|setsockopt|getsockopt|"
+            r"getsockname|getpeername|shutdown|epoll_create1?|epoll_ctl|"
+            r"epoll_wait|epoll_pwait|ppoll|inet_pton|inet_ntop|getaddrinfo|"
+            r"freeaddrinfo)\s*\(",
+        ],
+        scopes=CXX_SOURCE_SCOPES,
+        exempt=(
+            "src/net/socket.h",
+            "src/net/socket.cc",
+            "src/net/framing.h",
+            "src/net/framing.cc",
+            "src/net/server.h",
+            "src/net/server.cc",
         ),
     ),
     Rule(
