@@ -1,0 +1,97 @@
+#pragma once
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/failpoint.h"
+#include "src/core/status.h"
+
+/// Seeded chaos scheduling over the failpoint catalog (DESIGN.md §15).
+///
+/// A chaos spec names a pseudo-random *schedule*, not a fault: from one
+/// seed, a splitmix64 stream decides which catalog points arm, with what
+/// action, and on what probabilistic trigger. The whole schedule is a pure
+/// function of the spec — running twice with the same ADPA_CHAOS value arms
+/// byte-identical failpoint configs — so any failure a soak run finds
+/// replays exactly from the seed alone.
+///
+/// Spec grammar (the ADPA_CHAOS env var uses the same string):
+///
+///   <seed>:<intensity>[:<prefix>[,<prefix>]*]
+///
+///   seed       decimal uint64, selects the schedule
+///   intensity  decimal in (0, 1]: each eligible point arms with this
+///              probability, and triggers get denser as it rises
+///   prefix     restricts eligibility to catalog names with this prefix
+///              (e.g. `net.` keeps chaos off the startup/load path);
+///              a prefix matching no catalog name is rejected as a typo
+///
+/// Examples:  ADPA_CHAOS=7:0.35:net.      ADPA_CHAOS=42:1:dataset.load
+///
+/// Derivation details that make replay robust: each point draws from its
+/// own splitmix64 stream keyed by seed ^ fnv1a(name), so a point's armed
+/// config depends only on (seed, name) — narrowing the prefix filter, or
+/// adding new points to the catalog, never shifts the schedule of the
+/// points that remain. Armed actions are only `error` and small `delay`;
+/// chaos never arms `crash`, because the soak harness certifies
+/// fault-*tolerance* (the server must survive every schedule) while
+/// crash-recovery is crash_harness.sh territory.
+///
+/// Parsing and schedule construction are always compiled (and fuzzed, see
+/// tests/fuzz/fuzz_chaos.cc); actually arming the registry requires
+/// -DADPA_FAILPOINTS=ON like every other failpoint feature, and a
+/// malformed ADPA_CHAOS value aborts with _exit(41) exactly like a
+/// malformed ADPA_FAILPOINTS (a soak run with no faults armed would
+/// report vacuous green).
+
+namespace adpa::failpoint {
+
+/// Parsed form of `<seed>:<intensity>[:<prefix>,...]`.
+struct ChaosSpec {
+  uint64_t seed = 0;
+  double intensity = 0.0;             // validated to lie in (0, 1]
+  std::vector<std::string> prefixes;  // empty = the whole catalog
+};
+
+/// Parses and validates a chaos spec string (grammar above). Prefixes are
+/// checked against the catalog so a typo cannot silently arm nothing.
+Result<ChaosSpec> ParseChaosSpec(const std::string& text);
+
+/// The realized schedule: which points armed and with what failpoint spec
+/// (standard `action@trigger` grammar, feedable to failpoint::Configure).
+struct ChaosSchedule {
+  struct ArmedPoint {
+    std::string name;  // catalog name, e.g. "net.read"
+    std::string spec;  // e.g. "error(chaos)@1in23" or "delay(4)@1in11"
+  };
+  uint64_t seed = 0;
+  double intensity = 0.0;
+  uint64_t eligible = 0;  // catalog points that matched the prefix filter
+  std::vector<ArmedPoint> points;
+
+  /// Multi-line human/grep-able form, one `chaos: ...` line per armed
+  /// point plus a header; tools/soak.sh diffs this across runs to prove
+  /// replay determinism.
+  std::string Describe() const;
+};
+
+/// Deterministically expands a spec into a schedule. Pure: no clock, no
+/// global state, same spec -> identical schedule on every machine.
+Result<ChaosSchedule> BuildChaosSchedule(const ChaosSpec& spec);
+
+#if ADPA_FAILPOINTS_ENABLED
+
+/// Builds the schedule and arms every point in the failpoint registry.
+/// Returns the realized schedule so the caller can log it.
+Result<ChaosSchedule> ChaosConfigure(const ChaosSpec& spec);
+
+#else  // !ADPA_FAILPOINTS_ENABLED
+
+inline Result<ChaosSchedule> ChaosConfigure(const ChaosSpec&) {
+  return Status::FailedPrecondition(
+      "failpoints are compiled out; build with -DADPA_FAILPOINTS=ON");
+}
+
+#endif  // ADPA_FAILPOINTS_ENABLED
+
+}  // namespace adpa::failpoint

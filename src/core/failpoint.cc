@@ -30,6 +30,9 @@ std::vector<std::pair<std::string, std::string>> Catalog() {
       {"serve.cache.write",
        "InferenceSession::Create, before the propagation cache rewrite"},
       {"net.accept", "net::AcceptConnection, before the accept syscall"},
+      {"net.accept.emfile",
+       "net::AcceptConnection, reports fd exhaustion as if accept hit "
+       "EMFILE"},
       {"net.read", "net::ReadSome, before the recv syscall"},
       {"net.read.short", "net::ReadSome, caps the read at 1 byte"},
       {"net.write", "net::WriteSome, before the send syscall"},
@@ -46,9 +49,11 @@ std::vector<std::pair<std::string, std::string>> Catalog() {
 #include <time.h>    // nanosleep: POSIX sleep without <thread> (lint)
 #include <unistd.h>  // _exit: die without flushing, like a power cut
 
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 
+#include "src/core/chaos.h"
 #include "src/core/mutex.h"
 #include "src/core/thread_annotations.h"
 
@@ -208,6 +213,36 @@ Status ConfigureFromStringLocked(Registry& registry,
 void LoadEnvLocked(Registry& registry) ADPA_REQUIRES(registry.mu) {
   if (registry.env_loaded) return;
   registry.env_loaded = true;
+  // Chaos schedule first, explicit ADPA_FAILPOINTS second: a hand-written
+  // entry overrides whatever the schedule armed for the same point.
+  const char* chaos_env = std::getenv("ADPA_CHAOS");
+  if (chaos_env != nullptr && chaos_env[0] != '\0') {
+    const auto spec = ParseChaosSpec(chaos_env);
+    const auto schedule =
+        spec.ok() ? BuildChaosSchedule(*spec) : Result<ChaosSchedule>(
+                                                    spec.status());
+    if (!schedule.ok()) {
+      std::fprintf(stderr, "chaos: bad ADPA_CHAOS value \"%s\": %s\n",
+                   chaos_env, schedule.status().message().c_str());
+      // A malformed schedule must not run silently fault-free — same
+      // contract as a malformed ADPA_FAILPOINTS spec below.
+      // lint:allow(no-bare-exit) — invalid env spec must not run silently
+      _exit(41);
+    }
+    for (const auto& point : schedule->points) {
+      const Status armed = ConfigureLocked(registry, point.name, point.spec);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "chaos: failed to arm %s=%s: %s\n",
+                     point.name.c_str(), point.spec.c_str(),
+                     armed.message().c_str());
+        // lint:allow(no-bare-exit) — generator/parser drift is a bug
+        _exit(41);
+      }
+    }
+    // Realized schedule goes to stderr so any failure replays from the
+    // seed: tools/soak.sh greps and diffs these `chaos:` lines.
+    std::fprintf(stderr, "%s", schedule->Describe().c_str());
+  }
   const char* env = std::getenv("ADPA_FAILPOINTS");
   if (env == nullptr || env[0] == '\0') return;
   const Status status = ConfigureFromStringLocked(registry, env);

@@ -72,6 +72,12 @@ Status Server::SetupSockets() {
   wake_reader_.Reset(pipe_fds[0]);
   wake_writer_.Reset(pipe_fds[1]);
 
+  // Emergency descriptor for EMFILE storms on accept. Held open from the
+  // start so the reserve exists even once the table is full.
+  const int reserve = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  if (reserve < 0) return ErrnoStatus("open(/dev/null)");
+  reserve_fd_.Reset(reserve);
+
   for (const int fd : {listener_.fd.get(), wake_reader_.get()}) {
     epoll_event event{};
     event.events = EPOLLIN;
@@ -105,6 +111,13 @@ Status Server::Serve() {
               .count()) +
           1;
     }
+    if (HygieneEnabled() && !connections_.empty()) {
+      // lint:allow(deterministic-randomness) — hygiene clock, not results
+      const int hygiene_ms = NextHygieneDelayMs(std::chrono::steady_clock::now());
+      if (hygiene_ms >= 0 && (timeout_ms < 0 || hygiene_ms < timeout_ms)) {
+        timeout_ms = hygiene_ms;
+      }
+    }
 
     const int ready = ::epoll_wait(epoll_.get(), events.data(),
                                    static_cast<int>(events.size()),
@@ -124,6 +137,8 @@ Status Server::Serve() {
         HandleReadable(fd);
       }
     }
+
+    if (HygieneEnabled()) EnforceHygiene();
 
     // All requests harvested this wakeup — including lines from several
     // connections readable at once — coalesce through one pump pass.
@@ -177,6 +192,11 @@ void Server::HandleAccept() {
       break;
     }
     if (accepted->would_block) break;
+    if (accepted->fd_exhausted) {
+      ++stats_.fd_exhausted;
+      DrainAcceptWithReserveFd();
+      break;  // level-triggered epoll re-reports any remaining backlog
+    }
     if (static_cast<int64_t>(connections_.size()) >=
         options_.max_connections) {
       ++stats_.over_capacity;
@@ -185,6 +205,10 @@ void Server::HandleAccept() {
     const int fd = accepted->fd.get();
     auto conn = std::make_unique<Connection>(std::move(accepted->fd),
                                              options_.max_line_bytes);
+    if (HygieneEnabled()) {
+      // lint:allow(deterministic-randomness) — hygiene clock, not results
+      conn->last_read = std::chrono::steady_clock::now();
+    }
     epoll_event event{};
     event.events = EPOLLIN;
     event.data.fd = fd;
@@ -196,6 +220,23 @@ void Server::HandleAccept() {
     connections_.emplace(fd, std::move(conn));
     ++stats_.accepted;
   }
+}
+
+void Server::DrainAcceptWithReserveFd() {
+  if (!reserve_fd_.valid()) return;  // already lost the reserve: nothing to do
+  reserve_fd_.Reset();               // free one descriptor
+  {
+    // With one fd free, accept the queued connection and close it at scope
+    // exit: the newcomer gets an orderly refusal instead of hanging in
+    // connect() while the listener busy-reports EMFILE forever.
+    Result<AcceptResult> shed = AcceptConnection(listener_.fd.get());
+    if (shed.ok() && shed->fd.valid()) ++stats_.over_capacity;
+  }
+  const int reserve = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  if (reserve >= 0) reserve_fd_.Reset(reserve);
+  // If even /dev/null will not open, the table is still full: the reserve
+  // stays lost until descriptors free up, and the next EMFILE report is a
+  // no-op rather than a busy loop.
 }
 
 void Server::HandleReadable(int fd) {
@@ -220,8 +261,27 @@ void Server::HandleReadable(int fd) {
       break;
     }
     if (got->would_block || got->bytes == 0) break;
+    const size_t buffered_before = conn->framer.buffered_bytes();
     conn->framer.Append(chunk, static_cast<size_t>(got->bytes));
     ProcessLines(conn);
+    if (HygieneEnabled()) {
+      // lint:allow(deterministic-randomness) — hygiene clock, not results
+      const auto now = std::chrono::steady_clock::now();
+      conn->last_read = now;
+      const size_t buffered_after = conn->framer.buffered_bytes();
+      if (buffered_after == 0) {
+        conn->has_partial = false;
+      } else if (!conn->has_partial ||
+                 buffered_after <
+                     buffered_before + static_cast<size_t>(got->bytes)) {
+        // The oldest unconsumed byte arrived in this read (buffer was
+        // empty, or a completed line consumed the older bytes). Pure
+        // growth of an existing partial keeps the original clock — that
+        // is what defeats a 1-byte-per-second trickle.
+        conn->has_partial = true;
+        conn->partial_since = now;
+      }
+    }
   }
   if (conn->peer_eof && !conn->dead && !conn->close_after_flush) {
     // Serve a final unterminated line, mirroring the stdin server at EOF.
@@ -386,6 +446,65 @@ void Server::CollectFinished() {
       it = connections_.erase(it);
     } else {
       ++it;
+    }
+  }
+}
+
+int Server::NextHygieneDelayMs(
+    std::chrono::steady_clock::time_point now) const {
+  std::chrono::steady_clock::time_point earliest{};
+  bool have_deadline = false;
+  for (const auto& [fd, conn] : connections_) {
+    const Connection* c = conn.get();
+    if (c->dead) continue;
+    if (options_.stall_timeout_ms > 0 && c->has_partial) {
+      const auto deadline =
+          c->partial_since +
+          std::chrono::milliseconds(options_.stall_timeout_ms);
+      if (!have_deadline || deadline < earliest) earliest = deadline;
+      have_deadline = true;
+    }
+    if (options_.idle_timeout_ms > 0 && c->pending.empty() &&
+        c->out_offset >= c->out.size()) {
+      const auto deadline =
+          c->last_read + std::chrono::milliseconds(options_.idle_timeout_ms);
+      if (!have_deadline || deadline < earliest) earliest = deadline;
+      have_deadline = true;
+    }
+  }
+  if (!have_deadline) return -1;
+  if (earliest <= now) return 0;
+  return static_cast<int>(
+             std::chrono::duration_cast<std::chrono::milliseconds>(earliest -
+                                                                   now)
+                 .count()) +
+         1;
+}
+
+void Server::EnforceHygiene() {
+  if (connections_.empty()) return;
+  // lint:allow(deterministic-randomness) — hygiene clock, not results
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& [fd, conn] : connections_) {
+    Connection* c = conn.get();
+    if (c->dead) continue;
+    if (options_.stall_timeout_ms > 0 && c->has_partial &&
+        now - c->partial_since >=
+            std::chrono::milliseconds(options_.stall_timeout_ms)) {
+      // Slow-loris: the line never completed, so there is no reply to owe.
+      // Abrupt drop — buffered replies for earlier requests die with it.
+      ++stats_.stall_dropped;
+      c->dead = true;
+      continue;
+    }
+    if (options_.idle_timeout_ms > 0 && c->pending.empty() &&
+        c->out_offset >= c->out.size() &&
+        now - c->last_read >=
+            std::chrono::milliseconds(options_.idle_timeout_ms)) {
+      // Nothing owed in either direction: orderly FIN. A dangling partial
+      // line is discarded, exactly as drain discards one.
+      ++stats_.idle_closed;
+      c->dead = true;
     }
   }
 }

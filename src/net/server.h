@@ -32,6 +32,20 @@ struct ServerOptions {
   /// Accepted-connection ceiling; extra connects are closed immediately.
   int64_t max_connections = 1024;
 
+  /// Connection hygiene (DESIGN.md §15); 0 disables each timeout, which is
+  /// the default so timing never leaks into unit-test harnesses. Idle: a
+  /// connection that has sent no bytes for this long and is owed nothing
+  /// (no queued replies, write buffer flushed) is closed cleanly — the
+  /// client sees an orderly FIN. An unfinished partial line is discarded,
+  /// exactly as drain discards one.
+  int64_t idle_timeout_ms = 0;
+  /// Read-stall (slow-loris) timeout: a connection whose current request
+  /// line has been sitting incomplete for this long is dropped without a
+  /// reply. The clock starts when the oldest unconsumed byte of the
+  /// partial arrives and is NOT reset by further bytes of the same line,
+  /// so a 1-byte-per-second trickle cannot hold a connection open.
+  int64_t stall_timeout_ms = 0;
+
   /// Queue-full reject and deadline-shed semantics are the batcher's
   /// (DESIGN.md §10 degradation matrix) — they apply per request exactly as
   /// in stdin mode.
@@ -53,6 +67,10 @@ struct ServerStats {
   uint64_t over_capacity = 0;        ///< connects refused at max_connections
   uint64_t reloads = 0;              ///< successful checkpoint swaps
   uint64_t reload_failures = 0;      ///< rejected swaps (old session kept)
+  uint64_t idle_closed = 0;          ///< reaped by the idle timeout
+  uint64_t stall_dropped = 0;        ///< reaped by the read-stall timeout
+  uint64_t fd_exhausted = 0;         ///< EMFILE accepts absorbed via the
+                                     ///< reserved emergency fd
 };
 
 /// epoll-based multi-client JSONL inference server (DESIGN.md §14).
@@ -130,6 +148,14 @@ class Server {
     bool close_after_flush = false;  ///< condemned (oversized line)
     bool dead = false;               ///< close at end of loop iteration
     uint32_t interest = 0;           ///< epoll event mask currently armed
+
+    /// Hygiene clocks, stamped by the loop thread only. `last_read` is the
+    /// accept time or the last time bytes arrived; `partial_since` is when
+    /// the oldest unconsumed byte of the current incomplete line arrived
+    /// (valid only while `has_partial`).
+    std::chrono::steady_clock::time_point last_read;
+    std::chrono::steady_clock::time_point partial_since;
+    bool has_partial = false;
   };
 
   Server(const ServerOptions& options, serve::SessionRegistry* registry,
@@ -138,6 +164,12 @@ class Server {
   Status SetupSockets();
   void HandleWake();
   void HandleAccept();
+  /// EMFILE/ENFILE on accept: burn the reserved emergency fd to accept one
+  /// queued connection, close it immediately (shedding the newcomer, not
+  /// an established client), then re-arm the reserve. Without this the
+  /// level-triggered listener would re-report the same pending connection
+  /// on every wakeup, forever, while the client hangs in connect().
+  void DrainAcceptWithReserveFd();
   void HandleReadable(int fd);
   void ProcessLines(Connection* conn);
   void HandleLine(Connection* conn, const std::string& line);
@@ -147,6 +179,15 @@ class Server {
   void UpdateInterest(Connection* conn);
   void CollectFinished();
   void StartDrain();
+  bool HygieneEnabled() const {
+    return options_.idle_timeout_ms > 0 || options_.stall_timeout_ms > 0;
+  }
+  /// Milliseconds until the earliest idle/stall deadline, or -1 when no
+  /// connection has one armed. Bounds the epoll_wait timeout.
+  int NextHygieneDelayMs(std::chrono::steady_clock::time_point now) const;
+  /// Reaps connections past their idle/stall deadline (marks them dead;
+  /// CollectFinished closes them).
+  void EnforceHygiene();
 
   const ServerOptions options_;
   serve::SessionRegistry* const registry_;
@@ -157,6 +198,9 @@ class Server {
   FdOwner epoll_;
   FdOwner wake_reader_;
   FdOwner wake_writer_;
+  /// Reserved emergency descriptor (/dev/null), closed and re-opened to
+  /// absorb EMFILE storms on accept — see DrainAcceptWithReserveFd.
+  FdOwner reserve_fd_;
 
   std::map<int, std::unique_ptr<Connection>> connections_;
   bool draining_ = false;

@@ -180,6 +180,10 @@ Result<IoResult> WriteSome(int fd, const char* data, size_t size) {
 Result<AcceptResult> AcceptConnection(int listen_fd) {
   ADPA_FAILPOINT("net.accept");
   AcceptResult result;
+  if (!ADPA_FAILPOINT_STATUS("net.accept.emfile").ok()) {
+    result.fd_exhausted = true;
+    return result;
+  }
   while (true) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd >= 0) {
@@ -195,6 +199,10 @@ Result<AcceptResult> AcceptConnection(int listen_fd) {
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       result.would_block = true;
+      return result;
+    }
+    if (errno == EMFILE || errno == ENFILE) {
+      result.fd_exhausted = true;
       return result;
     }
     // The peer hung up between connect and accept: a per-connection

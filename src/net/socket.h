@@ -101,10 +101,16 @@ ADPA_NODISCARD Result<IoResult> WriteSome(int fd, const char* data,
 /// invalid fd) means no pending connection. Per-connection accept errors
 /// (a peer that vanished mid-handshake, the `net.accept` failpoint) come
 /// back as a non-OK Status: the caller counts them and keeps listening —
-/// an accept error never tears the server down.
+/// an accept error never tears the server down. EMFILE/ENFILE is reported
+/// separately via `fd_exhausted` (also an OK result, no fd): the process
+/// is out of descriptors, and the server answers with its reserved-fd
+/// drain (DESIGN.md §15) instead of error-counting a condition that would
+/// otherwise re-trigger on every epoll wakeup. The `net.accept.emfile`
+/// failpoint forces this path deterministically.
 struct AcceptResult {
   FdOwner fd;
   bool would_block = false;
+  bool fd_exhausted = false;  ///< accept failed with EMFILE or ENFILE
 };
 ADPA_NODISCARD Result<AcceptResult> AcceptConnection(int listen_fd);
 

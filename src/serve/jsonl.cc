@@ -196,6 +196,195 @@ std::string FormatReloadReply(int64_t id, const std::string& path,
          std::to_string(generation) + "}";
 }
 
+namespace {
+
+Status MalformedReply(const std::string& what) {
+  return Status::InvalidArgument("malformed reply: " + what);
+}
+
+/// Byte-exact cursor over one reply line. Stricter than the request
+/// parser on purpose: the formatters emit no whitespace and a fixed key
+/// order, so the reader accepts exactly that and nothing else — any
+/// corruption a fault injects between FormatX and the client shows up as
+/// a parse failure, not a silent reinterpretation.
+struct ReplyParser {
+  const std::string& text;
+  size_t pos = 0;
+
+  bool Literal(const char* lit) {
+    const size_t len = std::char_traits<char>::length(lit);
+    if (text.compare(pos, len, lit) != 0) return false;
+    pos += len;
+    return true;
+  }
+
+  Status ParseInt(int64_t* out) {
+    const size_t start = pos;
+    bool negative = false;
+    if (pos < text.size() && text[pos] == '-') {
+      negative = true;
+      ++pos;
+    }
+    int64_t value = 0;
+    size_t digits = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      if (++digits > 18) {
+        return MalformedReply("integer too large at offset " +
+                              std::to_string(start));
+      }
+      value = value * 10 + (text[pos] - '0');
+      ++pos;
+    }
+    if (digits == 0) {
+      return MalformedReply("expected integer at offset " +
+                            std::to_string(start));
+    }
+    // std::to_string never emits leading zeros (or "-0"); a reply that
+    // has them did not come from the formatters.
+    const size_t first_digit = start + (negative ? 1 : 0);
+    if (digits > 1 && text[first_digit] == '0') {
+      return MalformedReply("leading zero at offset " +
+                            std::to_string(start));
+    }
+    if (negative && value == 0) {
+      return MalformedReply("negative zero at offset " +
+                            std::to_string(start));
+    }
+    *out = negative ? -value : value;
+    return Status::OK();
+  }
+
+  /// Decodes a string body (opening quote already consumed) accepting
+  /// exactly the escapes EscapeJsonString emits.
+  Status DecodeString(std::string* out, size_t max_bytes) {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return MalformedReply("raw control character in string");
+      }
+      if (out->size() >= max_bytes) {
+        return MalformedReply("string exceeds " + std::to_string(max_bytes) +
+                              " bytes");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos;
+        continue;
+      }
+      ++pos;
+      if (pos >= text.size()) return MalformedReply("dangling backslash");
+      const char escape = text[pos++];
+      switch (escape) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'u': {
+          if (pos + 4 > text.size()) {
+            return MalformedReply("truncated \\u escape");
+          }
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos + static_cast<size_t>(i)];
+            value <<= 4;
+            if (h >= '0' && h <= '9') {
+              value |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            } else {
+              return MalformedReply("bad \\u escape digit");
+            }
+          }
+          // The formatter only \u-escapes control characters.
+          if (value >= 0x20) {
+            return MalformedReply("\\u escape outside the control range");
+          }
+          pos += 4;
+          out->push_back(static_cast<char>(value));
+          break;
+        }
+        default:
+          return MalformedReply(std::string("unknown escape \\") + escape);
+      }
+    }
+    return MalformedReply("unterminated string");
+  }
+};
+
+}  // namespace
+
+Result<ServeReply> ParseReplyLine(const std::string& line,
+                                  uint64_t max_classes) {
+  ReplyParser parser{line};
+  ServeReply reply;
+  if (!parser.Literal("{\"id\":")) {
+    return MalformedReply("expected {\"id\":...");
+  }
+  ADPA_RETURN_IF_ERROR(parser.ParseInt(&reply.id));
+  if (parser.Literal(",\"classes\":[")) {
+    reply.kind = ServeReply::Kind::kClasses;
+    if (!parser.Literal("]")) {
+      while (true) {
+        int64_t value = 0;
+        ADPA_RETURN_IF_ERROR(parser.ParseInt(&value));
+        if (reply.classes.size() >= max_classes) {
+          return MalformedReply("classes array exceeds limit");
+        }
+        reply.classes.push_back(value);
+        if (parser.Literal("]")) break;
+        if (!parser.Literal(",")) {
+          return MalformedReply("expected ',' or ']' in classes");
+        }
+      }
+    }
+    if (!parser.Literal("}")) return MalformedReply("expected '}'");
+  } else if (parser.Literal(",\"error\":\"")) {
+    reply.kind = ServeReply::Kind::kError;
+    ADPA_RETURN_IF_ERROR(parser.DecodeString(&reply.message, 1u << 16));
+    if (reply.message == "overloaded" &&
+        parser.Literal(",\"detail\":\"")) {
+      reply.kind = ServeReply::Kind::kOverloaded;
+      reply.message.clear();
+      ADPA_RETURN_IF_ERROR(parser.DecodeString(&reply.message, 1u << 16));
+    }
+    if (!parser.Literal("}")) return MalformedReply("expected '}'");
+  } else if (parser.Literal(",\"reloaded\":\"")) {
+    reply.kind = ServeReply::Kind::kReloaded;
+    ADPA_RETURN_IF_ERROR(parser.DecodeString(&reply.reloaded_path, 4096));
+    if (!parser.Literal(",\"generation\":")) {
+      return MalformedReply("expected \"generation\"");
+    }
+    ADPA_RETURN_IF_ERROR(parser.ParseInt(&reply.generation));
+    if (reply.generation < 0) {
+      return MalformedReply("generation must be non-negative");
+    }
+    if (!parser.Literal("}")) return MalformedReply("expected '}'");
+  } else {
+    return MalformedReply("expected \"classes\", \"error\", or "
+                          "\"reloaded\" after the id");
+  }
+  if (parser.pos != line.size()) {
+    return MalformedReply("trailing characters after '}'");
+  }
+  return reply;
+}
+
 std::string EscapeJsonString(const std::string& text) {
   std::string out;
   out.reserve(text.size());

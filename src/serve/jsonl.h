@@ -56,4 +56,33 @@ std::string FormatReloadReply(int64_t id, const std::string& path,
 /// Escapes backslash, double quote, and control characters (\uXXXX).
 std::string EscapeJsonString(const std::string& text);
 
+/// One parsed reply line — the read-side mirror of the Format* functions
+/// above. The soak harness (bench/soak_harness.cc) checks every byte the
+/// server emits against this restricted grammar, so the grammar itself is
+/// part of the serving contract: exactly one of the four shapes, keys in
+/// the order the formatters emit them, nothing else.
+struct ServeReply {
+  enum class Kind {
+    kClasses,     ///< {"id":N,"classes":[...]}
+    kError,       ///< {"id":N,"error":"..."}
+    kOverloaded,  ///< {"id":N,"error":"overloaded","detail":"..."}
+    kReloaded,    ///< {"id":N,"reloaded":"...","generation":G}
+  };
+  Kind kind = Kind::kError;
+  int64_t id = 0;
+  std::vector<int64_t> classes;  ///< kClasses only
+  std::string message;           ///< kError text / kOverloaded detail
+  std::string reloaded_path;     ///< kReloaded only
+  int64_t generation = 0;        ///< kReloaded only
+};
+
+/// Parses exactly the reply schema the formatters produce (fixed key
+/// order, escaped strings decoded for the simple escapes EscapeJsonString
+/// emits). `max_classes` bounds the array before it is built. Any
+/// deviation — unknown key, reordered keys, trailing bytes, truncation —
+/// is an InvalidArgument, never a crash (fuzz_jsonl drives this parser
+/// alongside the request parser).
+Result<ServeReply> ParseReplyLine(const std::string& line,
+                                  uint64_t max_classes = 1u << 20);
+
 }  // namespace adpa::serve

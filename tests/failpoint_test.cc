@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include "src/core/failpoint.h"
+#include "src/data/io.h"
 #include "src/io/binary.h"
+#include "src/io/checkpoint.h"
 
 namespace adpa {
 namespace {
@@ -147,6 +149,25 @@ TEST_F(FailpointTest, ReaderSeamSurfacesInjectedFailure) {
   const Status status = reader.ReadU32(&value);
   ASSERT_FALSE(status.ok());
   EXPECT_NE(status.message().find("binary.read"), std::string::npos);
+}
+
+TEST_F(FailpointTest, DatasetLoadSeamSurfacesInjectedFailure) {
+  ASSERT_TRUE(failpoint::Configure("dataset.load", "error").ok());
+  std::istringstream in("would-be dataset bytes");
+  const Result<Dataset> loaded = LoadDatasetFromStream(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("dataset.load"),
+            std::string::npos);
+}
+
+TEST_F(FailpointTest, CacheSaveSeamSurfacesInjectedFailure) {
+  ASSERT_TRUE(failpoint::Configure("cache.save", "error").ok());
+  const PropagationCache cache;  // seam fires before serialization
+  std::ostringstream out;
+  const Status status = SavePropagationCacheToStream(cache, out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("cache.save"), std::string::npos);
+  EXPECT_TRUE(out.str().empty()) << "nothing may be written after the seam";
 }
 
 TEST_F(FailpointTest, ClearAllResetsActionsAndCounters) {

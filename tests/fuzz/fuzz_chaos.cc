@@ -1,0 +1,84 @@
+// Fuzz target: the ADPA_CHAOS spec parser and schedule builder on
+// attacker-controlled bytes.
+//
+// Invariants under test:
+//  * ParseChaosSpec never aborts or trips ASan/UBSan — a hostile spec
+//    comes back as a non-OK Status (the env path turns that Status into
+//    _exit(41); the parser itself must never terminate anything);
+//  * any spec the parser accepts is in contract: intensity in (0, 1],
+//    every prefix non-empty and matching at least one catalog name;
+//  * BuildChaosSchedule is deterministic — building twice from the same
+//    accepted spec yields bitwise-identical Describe() output (this is
+//    the whole replay-from-seed story);
+//  * every armed point is an eligible catalog name under the prefix
+//    filter, its spec parses under the standard failpoint grammar
+//    (checked structurally: action then @1inN, N >= 2), and chaos never
+//    arms the crash action.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/core/chaos.h"
+#include "src/core/failpoint.h"
+
+namespace {
+
+using adpa::Result;
+using adpa::failpoint::ChaosSchedule;
+using adpa::failpoint::ChaosSpec;
+
+bool MatchesSomePrefix(const std::string& name, const ChaosSpec& spec) {
+  if (spec.prefixes.empty()) return true;
+  for (const auto& prefix : spec.prefixes) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  const Result<ChaosSpec> spec = adpa::failpoint::ParseChaosSpec(text);
+  if (!spec.ok()) return 0;
+
+  if (!(spec->intensity > 0.0) || spec->intensity > 1.0) __builtin_trap();
+  const auto catalog = adpa::failpoint::Catalog();
+  for (const auto& prefix : spec->prefixes) {
+    if (prefix.empty()) __builtin_trap();
+    bool matched = false;
+    for (const auto& entry : catalog) {
+      if (entry.first.rfind(prefix, 0) == 0) matched = true;
+    }
+    if (!matched) __builtin_trap();
+  }
+
+  const Result<ChaosSchedule> first =
+      adpa::failpoint::BuildChaosSchedule(*spec);
+  const Result<ChaosSchedule> second =
+      adpa::failpoint::BuildChaosSchedule(*spec);
+  // An accepted spec always builds (the builder re-validates the same
+  // invariants the parser enforced).
+  if (!first.ok() || !second.ok()) __builtin_trap();
+  if (first->Describe() != second->Describe()) __builtin_trap();
+  if (first->points.size() > first->eligible) __builtin_trap();
+  if (first->eligible > catalog.size()) __builtin_trap();
+
+  for (const auto& point : first->points) {
+    bool in_catalog = false;
+    for (const auto& entry : catalog) {
+      if (entry.first == point.name) in_catalog = true;
+    }
+    if (!in_catalog) __builtin_trap();
+    if (!MatchesSomePrefix(point.name, *spec)) __builtin_trap();
+    if (point.spec.find("crash") != std::string::npos) __builtin_trap();
+    const size_t trigger = point.spec.find("@1in");
+    if (trigger == std::string::npos) __builtin_trap();
+    const unsigned long long one_in =
+        std::strtoull(point.spec.c_str() + trigger + 4, nullptr, 10);
+    if (one_in < 2) __builtin_trap();
+  }
+  return 0;
+}

@@ -49,6 +49,13 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     if (request->nodes.size() > kMaxNodes) __builtin_trap();
     CheckReplyLine(
         adpa::serve::FormatClassesReply(request->id, request->nodes));
+    // The read-side reply grammar accepts exactly the formatter output:
+    // a classes reply built from any accepted request must round-trip.
+    if (!adpa::serve::ParseReplyLine(
+             adpa::serve::FormatClassesReply(request->id, request->nodes))
+             .ok()) {
+      __builtin_trap();
+    }
   } else {
     // The rejection message itself flows into a reply: it must stay framed.
     CheckReplyLine(
@@ -58,6 +65,16 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   // The raw input doubles as a hostile error/detail string.
   CheckReplyLine(adpa::serve::FormatErrorReply(-1, line));
   CheckReplyLine(adpa::serve::FormatOverloadedReply(1, line));
+
+  // Raw hostile bytes must reject-not-crash in the reply parser, and an
+  // error reply carrying them must round-trip (below the parser's 64 KiB
+  // message cap; escaping inflates at most 6x).
+  (void)adpa::serve::ParseReplyLine(line);
+  if (line.size() < (1u << 13) &&
+      !adpa::serve::ParseReplyLine(adpa::serve::FormatErrorReply(-1, line))
+           .ok()) {
+    __builtin_trap();
+  }
 
   // Escaping must remove every raw control byte and be stable: escaping an
   // already-escaped string introduces nothing but doubled backslashes, so a

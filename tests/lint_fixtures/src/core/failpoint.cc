@@ -1,0 +1,16 @@
+// Miniature failpoint catalog for the failpoint-coverage rule:
+// covered.point is mentioned by tests/covered_test.cc, uncovered.point is
+// mentioned nowhere (the rule must fire on it), and waived.point carries
+// the escape hatch.
+#include <string>
+#include <utility>
+#include <vector>
+
+std::vector<std::pair<std::string, std::string>> Catalog() {
+  return {
+      {"covered.point", "a seam exercised by covered_test.cc"},
+      {"uncovered.point", "a seam no test exercises"},
+      // lint:allow(failpoint-coverage)
+      {"waived.point", "a seam whose coverage debt is acknowledged"},
+  };
+}

@@ -1,0 +1,8 @@
+// Mentions "covered.point" the way a real failpoint test would, so the
+// failpoint-coverage rule counts the catalog entry as exercised.
+#include <string>
+
+void ExerciseCoveredPoint() {
+  const std::string armed = "covered.point";
+  (void)armed;
+}

@@ -121,6 +121,14 @@ class LintRuleTest(unittest.TestCase):
         # Backward returns void.
         self.assertEqual(len(hits), 1)
 
+    def test_failpoint_coverage_fires_on_untested_point(self):
+        hits = [(line, rule) for p, line, rule in self.findings
+                if p == "src/core/failpoint.cc"]
+        self.assertEqual({rule for _, rule in hits}, {"failpoint-coverage"})
+        # Only uncovered.point fires: covered.point is mentioned by
+        # tests/covered_test.cc and waived.point carries lint:allow.
+        self.assertEqual(len(hits), 1)
+
     def test_simd_isolation_fires_outside_kernel_files(self):
         hits = [(line, rule) for p, line, rule in self.findings
                 if p == "src/tensor/bad_intrinsics.cc"]

@@ -6,6 +6,8 @@
 // identical to the old session right up to the swap and to the new session
 // right after, with failed reloads leaving the live session serving.
 
+#include <fcntl.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -451,6 +453,12 @@ class TestClient {
 
   void ShutdownWrite() { ::shutdown(fd_.get(), SHUT_WR); }
 
+  /// Best-effort single-byte send for trickle tests: false once the server
+  /// dropped us (EPIPE/ECONNRESET), never a test failure.
+  bool TrySendByte(char byte) {
+    return ::send(fd_.get(), &byte, 1, MSG_NOSIGNAL) == 1;
+  }
+
  private:
   net::FdOwner fd_;
   std::string buffer_;
@@ -793,6 +801,241 @@ TEST(NetServerTest, RequestReloadReReadsCurrentPath) {
 }
 
 // ---------------------------------------------------------------------------
+// Reply-line grammar (the soak harness's parse invariant)
+
+TEST(ParseReplyLineTest, RoundTripsEveryFormatterShape) {
+  Result<serve::ServeReply> reply =
+      serve::ParseReplyLine(serve::FormatClassesReply(7, {0, 2, 1}));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->kind, serve::ServeReply::Kind::kClasses);
+  EXPECT_EQ(reply->id, 7);
+  EXPECT_EQ(reply->classes, (std::vector<int64_t>{0, 2, 1}));
+
+  reply = serve::ParseReplyLine(serve::FormatClassesReply(1, {}));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->classes.empty());
+
+  reply = serve::ParseReplyLine(
+      serve::FormatErrorReply(-1, "malformed request: \"x\"\ttab"));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->kind, serve::ServeReply::Kind::kError);
+  EXPECT_EQ(reply->id, -1);
+  EXPECT_EQ(reply->message, "malformed request: \"x\"\ttab");
+
+  reply = serve::ParseReplyLine(
+      serve::FormatOverloadedReply(9, "queue depth 128 exceeded"));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->kind, serve::ServeReply::Kind::kOverloaded);
+  EXPECT_EQ(reply->message, "queue depth 128 exceeded");
+
+  reply = serve::ParseReplyLine(serve::FormatReloadReply(3, "/m.ckpt", 12));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->kind, serve::ServeReply::Kind::kReloaded);
+  EXPECT_EQ(reply->reloaded_path, "/m.ckpt");
+  EXPECT_EQ(reply->generation, 12);
+}
+
+TEST(ParseReplyLineTest, RejectsEverythingTheFormattersNeverEmit) {
+  // The grammar accepts exactly the formatter output: any whitespace,
+  // reordered key, or foreign escape means the reply stream is corrupt.
+  const char* bad[] = {
+      "",
+      "{}",
+      "{\"id\": 7,\"classes\":[1]}",      // space after the colon
+      "{\"id\":7,\"classes\":[1] }",      // trailing space
+      "{\"id\":7,\"classes\":[1]}x",      // trailing garbage
+      "{\"id\":7,\"classes\":[1,]}",      // dangling comma
+      "{\"id\":7,\"classes\":[01]}",      // leading zero
+      "{\"classes\":[1],\"id\":7}",       // reordered keys
+      "{\"id\":7}",                       // no payload key
+      "{\"id\":99999999999999999999,\"classes\":[1]}",  // id overflow
+      "{\"id\":7,\"error\":\"\\x41\"}",   // escape the formatter never emits
+      "{\"id\":7,\"error\":\"\\u0041\"}", // \u is reserved for controls
+      "{\"id\":7,\"error\":\"raw\tcontrol\"}",
+      "{\"id\":7,\"error\":\"unterminated}",
+      "{\"id\":7,\"reloaded\":\"m\"}",    // reloaded without generation
+      "{\"id\":7,\"reloaded\":\"m\",\"generation\":-1}",
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(serve::ParseReplyLine(line).ok())
+        << "accepted corrupt reply: " << line;
+  }
+  // The class-count cap guards against allocation bombs.
+  EXPECT_FALSE(
+      serve::ParseReplyLine("{\"id\":1,\"classes\":[1,2,3]}", 2).ok());
+}
+
+TEST(ParseReplyLineTest, ControlEscapesRoundTrip) {
+  const std::string message = std::string("nul\x01 up\x1f down") + "\r\n";
+  Result<serve::ServeReply> reply =
+      serve::ParseReplyLine(serve::FormatErrorReply(5, message));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->message, message);
+}
+
+// ---------------------------------------------------------------------------
+// Connection hygiene: idle timeouts, slow-loris stalls, fd exhaustion
+
+TEST(ConnectionHygieneTest, IdleConnectionIsClosedCleanly) {
+  SwapFixture fixture;
+  net::ServerOptions options;
+  options.idle_timeout_ms = 150;
+  ServerHarness harness(&fixture, options);
+  TestClient client(harness.port());
+
+  // A live request-reply exchange works normally first: idle means "no
+  // bytes and nothing owed", not "slow".
+  client.Send(Query(1, "0"));
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 1, {0}));
+
+  // Then the client goes quiet and the server reclaims the slot with a
+  // clean FIN (EOF from the client's side, not a reset).
+  EXPECT_TRUE(client.AtEof());
+  EXPECT_GE(harness.server().stats().idle_closed, 1u);
+}
+
+TEST(ConnectionHygieneTest, StallTimeoutDropsAnUnfinishedLine) {
+  SwapFixture fixture;
+  net::ServerOptions options;
+  options.stall_timeout_ms = 150;
+  ServerHarness harness(&fixture, options);
+  TestClient client(harness.port());
+
+  client.Send("{\"id\": 1, \"nodes\": [0");  // never finishes the line
+  EXPECT_TRUE(client.Dropped());
+  EXPECT_GE(harness.server().stats().stall_dropped, 1u);
+}
+
+TEST(ConnectionHygieneTest, TricklingBytesDoesNotResetTheStallClock) {
+  SwapFixture fixture;
+  net::ServerOptions options;
+  options.stall_timeout_ms = 250;
+  ServerHarness harness(&fixture, options);
+  TestClient client(harness.port());
+
+  // Completed lines keep the connection healthy.
+  client.Send(Query(1, "0"));
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 1, {0}));
+
+  // The classic slow-loris: one byte of an unfinished line every 50 ms —
+  // steady traffic, never a complete request. The stall clock runs from
+  // the oldest unconsumed byte, so growth must not keep the slot alive.
+  bool dropped = false;
+  for (int i = 0; i < 40 && !dropped; ++i) {
+    if (!client.TrySendByte('{')) dropped = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(dropped || client.Dropped());
+  EXPECT_GE(harness.server().stats().stall_dropped, 1u);
+}
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define ADPA_NET_TEST_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define ADPA_NET_TEST_SANITIZED 1
+#endif
+#endif
+
+TEST(ConnectionHygieneTest, RealFdExhaustionShedsAndRecovers) {
+#ifdef ADPA_NET_TEST_SANITIZED
+  GTEST_SKIP() << "sanitizer runtimes need spare fds of their own";
+#endif
+  // Genuine EMFILE from the kernel, not a failpoint: lower RLIMIT_NOFILE
+  // (this test is its own process under ctest, so the change is private),
+  // hoard every remaining descriptor, and watch the reserve-fd drain shed
+  // the connection instead of busy-looping on a hot listener.
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+
+  rlimit original{};
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &original), 0);
+  rlimit lowered = original;
+  lowered.rlim_cur = 64;
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &lowered), 0);
+
+  std::vector<int> hoard;
+  for (int fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC); fd >= 0;
+       fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC)) {
+    hoard.push_back(fd);
+  }
+  ASSERT_EQ(errno, EMFILE);
+  ASSERT_FALSE(hoard.empty());
+
+  // Free exactly one slot for the client's own socket: the connect lands
+  // in the backlog, and the server's accept is what hits EMFILE.
+  ::close(hoard.back());
+  hoard.pop_back();
+  TestClient starved(harness.port());
+  EXPECT_TRUE(starved.Dropped());
+  EXPECT_GE(harness.server().stats().fd_exhausted, 1u);
+  EXPECT_GE(harness.server().stats().over_capacity, 1u);
+
+  // Release the pressure: the very next connection is served normally —
+  // the listener, epoll set, and reserve descriptor all survived.
+  for (const int fd : hoard) ::close(fd);
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &original), 0);
+  TestClient recovered(harness.port());
+  recovered.Send(Query(2, "1"));
+  EXPECT_EQ(recovered.RecvLine(),
+            fixture.ExpectedReply(fixture.path_a, 2, {1}));
+}
+
+// ---------------------------------------------------------------------------
+// Signal races: SIGHUP and SIGTERM arrive via the same self-pipe the soak
+// harness exercises; these pin the orderings chaos runs keep hitting.
+
+TEST(NetServerTest, ReloadSignalDuringStopDrainStaysClean) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  TestClient client(harness.port());
+
+  client.Send(Query(1, "0") + Query(2, "1"));
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 1, {0}));
+
+  // SIGTERM starts the drain; a SIGHUP lands in the middle of it. The
+  // reload must neither wedge the drain nor tear the in-flight reply.
+  harness.server().RequestStop();
+  harness.server().RequestReload();
+  EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 2, {1}));
+  EXPECT_TRUE(client.AtEof());
+  harness.Stop();  // asserts Serve() returned OK
+  ASSERT_NE(harness.registry().Current(), nullptr);
+  EXPECT_TRUE(harness.registry().Current()->Classify({0}).ok());
+}
+
+TEST(NetServerTest, BackToBackReloadSignalsWithQueriesInFlight) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  const std::vector<int64_t> nodes{0, 3, 7, 11, 19, 23, 31, 42, 55, 59};
+  const std::string expected =
+      fixture.ExpectedReply(fixture.path_a, 1, nodes);
+  const std::string query = Query(1, "0, 3, 7, 11, 19, 23, 31, 42, 55, 59");
+
+  TestClient client(harness.port());
+  std::thread hammer([&] {
+    for (int i = 0; i < 50; ++i) {
+      client.Send(query);
+      EXPECT_EQ(client.RecvLine(), expected);
+    }
+  });
+  // Two SIGHUPs back to back while the hammer keeps a batch in flight.
+  // ReloadCurrent re-reads the same path, so every reply stays bitwise
+  // identical through both swaps.
+  harness.server().RequestReload();
+  harness.server().RequestReload();
+  hammer.join();
+
+  // Each wake byte ran exactly one reload to completion.
+  for (int i = 0; i < 500 && harness.registry().generation() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(harness.registry().generation(), 3);
+  EXPECT_EQ(harness.server().stats().reloads, 2u);
+}
+
+// ---------------------------------------------------------------------------
 // Failpoint recovery (compiled in under the `recovery` preset)
 
 class NetFailpointTest : public testing::Test {
@@ -852,6 +1095,45 @@ TEST_F(NetFailpointTest, ByteAtATimeIoStaysByteCorrect) {
                                                      {0, 5, 9}));
   EXPECT_EQ(client.RecvLine(), fixture.ExpectedReply(fixture.path_a, 2,
                                                      {1}));
+}
+
+TEST_F(NetFailpointTest, WriteErrorDropsOnlyThatConnection) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  ASSERT_TRUE(failpoint::Configure("net.write", "error@1").ok());
+
+  // The injected send failure lands while flushing the victim's reply;
+  // only that connection is torn down.
+  TestClient victim(harness.port());
+  victim.Send(Query(1, "0"));
+  EXPECT_TRUE(victim.Dropped());
+
+  failpoint::ClearAll();
+  TestClient survivor(harness.port());
+  survivor.Send(Query(2, "1"));
+  EXPECT_EQ(survivor.RecvLine(),
+            fixture.ExpectedReply(fixture.path_a, 2, {1}));
+}
+
+TEST_F(NetFailpointTest, EmfileOnAcceptShedsViaReserveFdAndRecovers) {
+  SwapFixture fixture;
+  ServerHarness harness(&fixture);
+  // Simulated fd exhaustion: the first accept reports EMFILE, so the
+  // server must burn its reserve descriptor to pull one connection off
+  // the backlog and shed it — never busy-loop on a hot listener.
+  ASSERT_TRUE(failpoint::Configure("net.accept.emfile", "error@1").ok());
+
+  TestClient shed(harness.port());
+  EXPECT_TRUE(shed.Dropped());
+  EXPECT_GE(harness.server().stats().fd_exhausted, 1u);
+  EXPECT_GE(harness.server().stats().over_capacity, 1u);
+
+  // The reserve was reopened, so normal service resumes immediately.
+  failpoint::ClearAll();
+  TestClient survivor(harness.port());
+  survivor.Send(Query(2, "1"));
+  EXPECT_EQ(survivor.RecvLine(),
+            fixture.ExpectedReply(fixture.path_a, 2, {1}));
 }
 
 TEST_F(NetFailpointTest, ReloadLoadFailureKeepsOldSessionServing) {

@@ -30,6 +30,11 @@
 // Flags:
 //   --listen=HOST:PORT    serve over TCP instead of stdin/stdout
 //   --no_reload           refuse {"reload": ...} admin requests (TCP mode)
+//   --idle_timeout_ms=N   close connections idle for N ms (TCP mode;
+//                         0 = never, the default)
+//   --stall_timeout_ms=N  drop connections whose request line has been
+//                         incomplete for N ms (slow-loris defense; 0 =
+//                         never, the default)
 //   --checkpoint=F        trained model (required)
 //   --in=F                the dataset the model was trained on (required)
 //   --undirect            mirror the training run's --undirect
@@ -189,6 +194,8 @@ int ServeTcp(const std::string& listen_spec, const Flags& flags,
   options.batcher.max_batch_nodes = flags.GetInt("max_batch_nodes", 4096);
   options.batcher.max_queue_depth = flags.GetInt("max_queue_depth", 4096);
   options.allow_reload = !flags.Has("no_reload");
+  options.idle_timeout_ms = flags.GetInt("idle_timeout_ms", 0);
+  options.stall_timeout_ms = flags.GetInt("stall_timeout_ms", 0);
   Result<std::unique_ptr<net::Server>> server =
       net::Server::Create(options, &registry, &metrics);
   if (!server.ok()) return Fail(server.status());
@@ -227,13 +234,17 @@ int ServeTcp(const std::string& listen_spec, const Flags& flags,
   const net::ServerStats& stats = (*server)->stats();
   std::fprintf(stderr,
                "connections: %llu accepted, %llu closed by peer, %llu "
-               "dropped, %llu io errors, %llu over capacity; reloads: %llu "
-               "ok, %llu failed (generation %lld)\n",
+               "dropped, %llu io errors, %llu over capacity, %llu idle "
+               "closed, %llu stall dropped, %llu fd exhausted; reloads: "
+               "%llu ok, %llu failed (generation %lld)\n",
                static_cast<unsigned long long>(stats.accepted),
                static_cast<unsigned long long>(stats.closed_by_peer),
                static_cast<unsigned long long>(stats.dropped),
                static_cast<unsigned long long>(stats.io_errors),
                static_cast<unsigned long long>(stats.over_capacity),
+               static_cast<unsigned long long>(stats.idle_closed),
+               static_cast<unsigned long long>(stats.stall_dropped),
+               static_cast<unsigned long long>(stats.fd_exhausted),
                static_cast<unsigned long long>(stats.reloads),
                static_cast<unsigned long long>(stats.reload_failures),
                static_cast<long long>(registry.generation()));
@@ -244,7 +255,8 @@ int ServeTcp(const std::string& listen_spec, const Flags& flags,
 int Usage() {
   std::fprintf(stderr,
                "usage: adpa_serve --checkpoint=F --in=F [--undirect]\n"
-               "                  [--listen=HOST:PORT --no_reload]\n"
+               "                  [--listen=HOST:PORT --no_reload\n"
+               "                  --idle_timeout_ms=N --stall_timeout_ms=N]\n"
                "                  [--cache=F --batch_lines=N "
                "--max_batch_nodes=N\n"
                "                  --max_queue_depth=N --threads=N\n"

@@ -69,6 +69,13 @@ Rules (ids used by the `// lint:allow(<rule>)` escape hatch):
                            string) in the gradcheck registry in
                            src/tensor/gradcheck.cc, so a new autograd op
                            cannot ship without finite-difference coverage.
+  failpoint-coverage       every name in the failpoint catalog
+                           (src/core/failpoint.cc) must appear as a quoted
+                           string in at least one test under tests/, so a
+                           new fault-injection seam cannot ship without a
+                           test that arms it — an untested failpoint gives
+                           false confidence precisely where confidence is
+                           the product.
 
 A finding on line N is suppressed by `// lint:allow(<rule>)` on line N or
 line N-1. Shell scripts under tools/ are additionally run through shellcheck
@@ -365,6 +372,55 @@ def check_gradcheck_registry(root):
     return [f for f in findings if not suppressed(f, header_lines)]
 
 
+FAILPOINT_SOURCE = "src/core/failpoint.cc"
+# A catalog entry opens `{"dotted.name",` — every real point name has at
+# least one dot, which keeps brace-initialized strings elsewhere in the
+# file from matching.
+FAILPOINT_NAME_RE = re.compile(r'\{"([a-z0-9_]+(?:\.[a-z0-9_]+)+)",')
+QUOTED_DOTTED_RE = re.compile(r'"([a-z0-9_]+(?:\.[a-z0-9_]+)+)"')
+
+
+def check_failpoint_coverage(root):
+    """Cross-file rule: failpoint catalog names no test ever mentions.
+
+    Scans the catalog entries in src/core/failpoint.cc and requires each
+    name to occur as a quoted string in some test file under tests/
+    (fixtures excluded). Any mention counts — arming it, asserting on its
+    Status message, a soak-script grep target listed in a test — but a
+    missing mention is always a seam that can silently rot.
+    """
+    source_path = os.path.join(root, FAILPOINT_SOURCE)
+    if not os.path.exists(source_path):
+        return []
+    with open(source_path, encoding="utf-8", errors="replace") as f:
+        source_lines = f.read().splitlines()
+
+    mentioned = set()
+    tests_dir = os.path.join(root, "tests")
+    for dirpath, dirnames, filenames in os.walk(tests_dir):
+        dirnames[:] = [
+            d for d in dirnames
+            if not is_excluded(os.path.relpath(os.path.join(dirpath, d),
+                                               root))]
+        for name in filenames:
+            if not name.endswith((".cc", ".h", ".py", ".sh")):
+                continue
+            path = os.path.join(dirpath, name)
+            with open(path, encoding="utf-8", errors="replace") as f:
+                mentioned.update(QUOTED_DOTTED_RE.findall(f.read()))
+
+    findings = []
+    for lineno, line in enumerate(source_lines, start=1):
+        for match in FAILPOINT_NAME_RE.finditer(strip_line_comment(line)):
+            if match.group(1) not in mentioned:
+                findings.append(Finding(
+                    FAILPOINT_SOURCE, lineno, "failpoint-coverage",
+                    "failpoint %s is exercised by no test under tests/; "
+                    "add one that arms it (or observes its injected "
+                    "failure) before shipping the seam" % match.group(1)))
+    return [f for f in findings if not suppressed(f, source_lines)]
+
+
 def suppressed(finding, lines):
     """True if `// lint:allow(<rule>)` covers the finding's line."""
     for lineno in (finding.lineno, finding.lineno - 1):
@@ -462,6 +518,8 @@ def main():
     norm_paths = {p.replace(os.sep, "/") for p in rel_paths}
     if args.files is None or GRADCHECK_HEADER in norm_paths:
         findings.extend(check_gradcheck_registry(root))
+    if args.files is None or FAILPOINT_SOURCE in norm_paths:
+        findings.extend(check_failpoint_coverage(root))
     if not args.no_shellcheck:
         findings.extend(run_shellcheck(root, rel_paths))
 

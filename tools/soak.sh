@@ -1,0 +1,229 @@
+#!/bin/sh
+# Chaos soak harness (DESIGN.md §15): certifies that the serving stack
+# survives *combinations* of faults under sustained mixed traffic.
+#
+#   train checkpoint ── adpa_serve (ADPA_CHAOS=seed:intensity:net.)
+#                          ▲
+#            chaos_proxy ──┘  (split/trickle/delay/garbage/RST, seeded)
+#                          ▲
+#            soak_harness ─┘  (queries + reloads, K connections)
+#
+# Invariants asserted per seed:
+#   0. the server process never crashes (SIGTERM at the end drains, exit 0)
+#   1. every reply line parses under the restricted JSONL grammar
+#   2. reply ids stay strictly increasing per connection
+#   3. every classes reply is bitwise-identical to the fault-free golden
+#   4. peak RSS (VmHWM) stays under SOAK_MAX_RSS_MB
+# plus, once per run:
+#   - a malformed ADPA_CHAOS value exits 41 (like malformed ADPA_FAILPOINTS)
+#   - a deliberately-failing seed replays deterministically: same schedule
+#     log, same failure, from ADPA_CHAOS alone
+#   - the realized schedule is process-independent (adpa_cli and adpa_serve
+#     print identical `chaos:` lines for the same spec)
+#
+# Environment knobs (CI sets these; local ctest uses the defaults):
+#   SOAK_SECONDS      seconds of soak per seed          (default 5)
+#   SOAK_SEEDS        space-separated seed list         (default "3 17 29")
+#   SOAK_INTENSITY    chaos arming probability          (default 0.35)
+#   SOAK_PROXY_RATE   proxy per-chunk fault probability (default 0.25)
+#   SOAK_MAX_RSS_MB   server VmHWM ceiling              (default 1024)
+#   SOAK_LOG_DIR      where serve/proxy/soak logs land  (default: temp dir)
+#
+# Needs binaries built with -DADPA_FAILPOINTS=ON (the `recovery` preset);
+# exits 77 (the ctest SKIP convention) otherwise.
+#
+# usage: tools/soak.sh [build-dir]
+set -eu
+
+BUILD_DIR="${1:-build-recovery}"
+CLI="$BUILD_DIR/tools/adpa_cli"
+SERVE="$BUILD_DIR/tools/adpa_serve"
+PROXY="$BUILD_DIR/tools/chaos_proxy"
+SOAK="$BUILD_DIR/bench/soak_harness"
+
+for bin in "$CLI" "$SERVE" "$PROXY" "$SOAK"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (run: cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+SOAK_SECONDS="${SOAK_SECONDS:-5}"
+SOAK_SEEDS="${SOAK_SEEDS:-3 17 29}"
+SOAK_INTENSITY="${SOAK_INTENSITY:-0.35}"
+SOAK_PROXY_RATE="${SOAK_PROXY_RATE:-0.25}"
+SOAK_MAX_RSS_MB="${SOAK_MAX_RSS_MB:-1024}"
+
+WORK="$(mktemp -d)"
+LOG_DIR="${SOAK_LOG_DIR:-$WORK}"
+mkdir -p "$LOG_DIR"
+SERVE_PID=""
+PROXY_PID=""
+HUP_PID=""
+cleanup() {
+  for pid in $SERVE_PID $PROXY_PID $HUP_PID; do
+    kill "$pid" 2> /dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "soak: FAIL — $1" >&2
+  exit 1
+}
+
+# Polls a log file for a pattern; dies after 10 s.
+wait_for() {
+  _tries=0
+  until grep -q "$1" "$2" 2> /dev/null; do
+    _tries=$((_tries + 1))
+    [ "$_tries" -lt 100 ] || fail "timed out waiting for '$1' in $2"
+    sleep 0.1
+  done
+}
+
+"$CLI" generate --name=Texas --seed=7 --out="$WORK/texas.txt" > /dev/null
+
+# --- compiled-in probe + malformed-spec contract --------------------------
+# A malformed ADPA_CHAOS must abort with 41 at the first hooked seam
+# (`analyze` hits dataset.load), exactly like a malformed ADPA_FAILPOINTS.
+rc=0
+ADPA_CHAOS='not-a-spec' "$CLI" analyze --in="$WORK/texas.txt" \
+  > /dev/null 2>&1 || rc=$?
+if [ "$rc" -eq 0 ]; then
+  echo "soak: SKIP — failpoints compiled out (need the recovery preset:" \
+    "cmake --preset recovery)" >&2
+  exit 77
+fi
+[ "$rc" -eq 41 ] || fail "malformed ADPA_CHAOS exited $rc, want 41"
+
+# --- replay determinism: a failing seed fails identically, twice ----------
+# Intensity 1 restricted to trainer.epoch arms error@1inN with N in [2,5];
+# 30 epochs guarantee it fires, so the run fails — and must fail the same
+# way, with the same schedule log, from the env value alone.
+for attempt in 1 2; do
+  rc=0
+  ADPA_CHAOS='13:1:trainer.epoch' "$CLI" train --in="$WORK/texas.txt" \
+    --model=ADPA --seed=42 --epochs=30 --patience=0 \
+    > /dev/null 2> "$WORK/replay_$attempt.log" || rc=$?
+  [ "$rc" -ne 0 ] || fail "replay seed 13 did not fail (attempt $attempt)"
+  grep -q '^chaos: trainer\.epoch=' "$WORK/replay_$attempt.log" \
+    || fail "no realized schedule in the replay log (attempt $attempt)"
+  grep '^chaos:' "$WORK/replay_$attempt.log" \
+    > "$WORK/replay_schedule_$attempt.txt"
+  grep '^error:' "$WORK/replay_$attempt.log" \
+    > "$WORK/replay_error_$attempt.txt" || true
+done
+cmp -s "$WORK/replay_schedule_1.txt" "$WORK/replay_schedule_2.txt" \
+  || fail "replay runs realized different schedules from the same seed"
+cmp -s "$WORK/replay_error_1.txt" "$WORK/replay_error_2.txt" \
+  || fail "replay runs failed differently from the same seed"
+
+# --- golden phase: fault-free server, record every query pattern ----------
+"$CLI" train --in="$WORK/texas.txt" --model=ADPA --seed=42 --epochs=30 \
+  --patience=0 --save_checkpoint="$WORK/model.ckpt" > /dev/null
+
+"$SERVE" --checkpoint="$WORK/model.ckpt" --in="$WORK/texas.txt" \
+  --listen=127.0.0.1:0 2> "$LOG_DIR/serve_golden.log" &
+SERVE_PID=$!
+wait_for '^listening on 127\.0\.0\.1:' "$LOG_DIR/serve_golden.log"
+PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+  "$LOG_DIR/serve_golden.log" | head -n 1)"
+"$SOAK" --connect=127.0.0.1:"$PORT" --golden="$WORK/golden.tsv" \
+  --record_golden 2> "$LOG_DIR/soak_golden.log" \
+  || fail "golden recording failed: $(cat "$LOG_DIR/soak_golden.log")"
+kill -TERM "$SERVE_PID"
+rc=0
+wait "$SERVE_PID" || rc=$?
+SERVE_PID=""
+[ "$rc" -eq 0 ] || fail "fault-free server exited $rc after SIGTERM"
+
+# --- soak loop: one chaos schedule + byzantine proxy per seed -------------
+for seed in $SOAK_SEEDS; do
+  echo "soak: seed $seed (${SOAK_SECONDS}s, chaos $SOAK_INTENSITY on net.," \
+    "proxy rate $SOAK_PROXY_RATE)"
+
+  ADPA_CHAOS="$seed:$SOAK_INTENSITY:net." \
+    "$SERVE" --checkpoint="$WORK/model.ckpt" --in="$WORK/texas.txt" \
+    --listen=127.0.0.1:0 --idle_timeout_ms=2000 --stall_timeout_ms=1500 \
+    2> "$LOG_DIR/serve_$seed.log" &
+  SERVE_PID=$!
+  wait_for '^listening on 127\.0\.0\.1:' "$LOG_DIR/serve_$seed.log"
+  SPORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$LOG_DIR/serve_$seed.log" | head -n 1)"
+
+  # The realized schedule must be in the log (that is the replay contract)
+  # and must be process-independent: adpa_cli prints the identical lines
+  # for the same env value.
+  grep -q '^chaos: seed=' "$LOG_DIR/serve_$seed.log" \
+    || fail "no realized chaos schedule in serve_$seed.log"
+  rc=0
+  ADPA_CHAOS="$seed:$SOAK_INTENSITY:net." "$CLI" analyze \
+    --in="$WORK/texas.txt" > /dev/null 2> "$WORK/cli_chaos.log" || rc=$?
+  [ "$rc" -eq 0 ] || fail "analyze under a net.-scoped schedule exited $rc"
+  grep '^chaos:' "$LOG_DIR/serve_$seed.log" > "$WORK/schedule_serve.txt"
+  grep '^chaos:' "$WORK/cli_chaos.log" > "$WORK/schedule_cli.txt"
+  cmp -s "$WORK/schedule_serve.txt" "$WORK/schedule_cli.txt" \
+    || fail "seed $seed schedule differs between adpa_serve and adpa_cli"
+
+  "$PROXY" --upstream=127.0.0.1:"$SPORT" --listen=127.0.0.1:0 \
+    --seed="$seed" --intensity="$SOAK_PROXY_RATE" \
+    2> "$LOG_DIR/proxy_$seed.log" &
+  PROXY_PID=$!
+  wait_for '^proxy listening on 127\.0\.0\.1:' "$LOG_DIR/proxy_$seed.log"
+  PPORT="$(sed -n 's/^proxy listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$LOG_DIR/proxy_$seed.log" | head -n 1)"
+
+  # SIGHUP pinger: hot-reload signals race the mixed workload throughout.
+  (
+    i=0
+    while [ "$i" -lt $((SOAK_SECONDS * 2)) ]; do
+      sleep 0.5
+      kill -HUP "$SERVE_PID" 2> /dev/null || exit 0
+      i=$((i + 1))
+    done
+  ) &
+  HUP_PID=$!
+
+  rc=0
+  "$SOAK" --connect=127.0.0.1:"$PPORT" --golden="$WORK/golden.tsv" \
+    --seconds="$SOAK_SECONDS" --seed="$seed" --connections=4 \
+    --reload_path="$WORK/model.ckpt" --reload_every=32 \
+    2> "$LOG_DIR/soak_$seed.log" || rc=$?
+  [ "$rc" -eq 0 ] || {
+    cat "$LOG_DIR/soak_$seed.log" >&2
+    fail "seed $seed violated a soak invariant (soak_harness exited $rc)"
+  }
+
+  # Invariant 0: still alive after the storm. Invariant 4: bounded RSS.
+  kill -0 "$SERVE_PID" 2> /dev/null \
+    || fail "seed $seed: server died during the soak"
+  rss_kb="$(awk '/^VmHWM:/ {print $2}' "/proc/$SERVE_PID/status" \
+    2> /dev/null || echo 0)"
+  [ "${rss_kb:-0}" -gt 0 ] || fail "seed $seed: could not read VmHWM"
+  [ "$rss_kb" -le $((SOAK_MAX_RSS_MB * 1024)) ] \
+    || fail "seed $seed: VmHWM ${rss_kb}kB exceeds ${SOAK_MAX_RSS_MB}MB"
+
+  kill "$HUP_PID" 2> /dev/null || true
+  wait "$HUP_PID" 2> /dev/null || true
+  HUP_PID=""
+
+  kill -TERM "$SERVE_PID"
+  rc=0
+  wait "$SERVE_PID" || rc=$?
+  SERVE_PID=""
+  [ "$rc" -eq 0 ] || fail "seed $seed: server exited $rc after SIGTERM"
+  grep -q 'draining: received signal' "$LOG_DIR/serve_$seed.log" \
+    || fail "seed $seed: no drain notice on stderr"
+
+  kill -TERM "$PROXY_PID" 2> /dev/null || true
+  wait "$PROXY_PID" 2> /dev/null || true
+  PROXY_PID=""
+
+  ok_line="$(grep '^soak: sent' "$LOG_DIR/soak_$seed.log" || true)"
+  echo "soak: seed $seed OK — ${ok_line#soak: } (VmHWM ${rss_kb}kB)"
+done
+
+echo "soak: OK ($(echo "$SOAK_SEEDS" | wc -w) seeds x ${SOAK_SECONDS}s," \
+  "malformed spec exits 41, failing seed 13 replays bitwise)"
